@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction benches:
+ * the default Table 2 configuration, run helpers, and printing of
+ * paper-expected vs. measured values.
+ */
+
+#ifndef SSP_BENCH_BENCH_COMMON_HH
+#define SSP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/driver.hh"
+#include "sim/report.hh"
+#include "sim/system_builder.hh"
+
+namespace ssp::bench
+{
+
+/** Transactions measured per cell (after the setup/prefill phase). */
+inline constexpr std::uint64_t kMeasuredTxs = 4000;
+
+/** The Table 2 machine, scaled where it only affects memory footprint. */
+inline SspConfig
+paperConfig(unsigned cores = 1)
+{
+    SspConfig cfg;
+    cfg.numCores = cores;
+    cfg.heapPages = 1 << 15; // 128 MiB persistent heap
+    cfg.logPages = 8192;
+    // Paper section 5.1: 0.3% of the 12 MiB L3 caches about 1K SSP
+    // cache entries.
+    cfg.sspCacheSlots = 1024;
+    cfg.shadowPoolPages = cfg.sspCacheSlots + 1024;
+    return cfg;
+}
+
+/** The workload scale used by all benches. */
+inline WorkloadScale
+paperScale()
+{
+    WorkloadScale scale;
+    // Deep enough trees that per-transaction write sets approach the
+    // paper's Table 3 characterization.
+    scale.keySpace = 32768;
+    scale.spsElements = 1 << 16;
+    scale.seed = 42;
+    return scale;
+}
+
+/** Build + run one (backend, workload) cell. */
+inline RunResult
+runCell(BackendKind backend, WorkloadKind workload, const SspConfig &cfg,
+        std::uint64_t txs = kMeasuredTxs, unsigned cores = 1)
+{
+    auto exp = buildExperiment(backend, workload, cfg, paperScale());
+    return runExperiment(exp, txs, cores);
+}
+
+/** Print the bench header with the simulated machine parameters. */
+inline void
+printHeader(const std::string &title, const SspConfig &cfg)
+{
+    std::printf("%s", banner(title).c_str());
+    std::printf("machine: %u core(s), 3.7 GHz | L1 32KiB/L2 256KiB/L3 "
+                "12MiB | DTLB %u | NVRAM read/write %llu/%llu cycles | "
+                "DRAM %llu/%llu cycles\n\n",
+                cfg.numCores, cfg.tlbEntries,
+                static_cast<unsigned long long>(
+                    cfg.effectiveNvram().readLatency),
+                static_cast<unsigned long long>(
+                    cfg.effectiveNvram().writeLatency),
+                static_cast<unsigned long long>(cfg.dram.readLatency),
+                static_cast<unsigned long long>(cfg.dram.writeLatency));
+}
+
+/** Paper-reported reference line for side-by-side comparison. */
+inline void
+printPaperNote(const std::string &note)
+{
+    std::printf("paper reference: %s\n\n", note.c_str());
+}
+
+} // namespace ssp::bench
+
+#endif // SSP_BENCH_BENCH_COMMON_HH

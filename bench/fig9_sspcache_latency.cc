@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 9 reproduction: sensitivity of SSP's speedup over REDO-LOG to
+ * the access latency of the SSP cache, swept from 20 to 180 cycles for
+ * all seven microbenchmarks.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace ssp;
+using namespace ssp::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    SspConfig base_cfg = paperConfig(1);
+    printHeader("Figure 9: SSP speedup over REDO-LOG vs SSP-cache access "
+                "latency (cycles)",
+                base_cfg);
+
+    // REDO-LOG is latency-independent: measure it once per workload.
+    std::vector<double> redo_tps;
+    for (WorkloadKind w : microbenchmarks())
+        redo_tps.push_back(runCell(BackendKind::RedoLog, w, base_cfg).tps());
+
+    std::vector<std::string> header{"latency"};
+    for (WorkloadKind w : microbenchmarks())
+        header.push_back(workloadKindName(w));
+    TextTable table(std::move(header));
+
+    for (Cycles lat : {20u, 60u, 100u, 140u, 180u}) {
+        SspConfig cfg = paperConfig(1);
+        cfg.sspCacheLatency.fixedLatency = lat;
+        std::vector<std::string> row{std::to_string(lat)};
+        std::size_t i = 0;
+        for (WorkloadKind w : microbenchmarks()) {
+            const double tps = runCell(BackendKind::Ssp, w, cfg).tps();
+            row.push_back(fmtDouble(tps / redo_tps[i++]));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+    printPaperNote("most workloads degrade only moderately and linearly "
+                   "with SSP-cache latency; SPS and Hash-Rand are the most "
+                   "sensitive (poor locality -> frequent TLB misses -> "
+                   "frequent SSP-cache accesses); zipfian workloads are "
+                   "less sensitive than random ones");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot primitives:
+ * bitmap operations, cache lookups, TLB lookups, journal appends, and
+ * full SSP transactions.  These gate simulator performance, not the
+ * paper's results — they exist so regressions in the substrate are
+ * visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitmap64.hh"
+#include "common/logging.hh"
+#include "core/ssp_system.hh"
+#include "vm/tlb.hh"
+
+using namespace ssp;
+
+namespace
+{
+
+void
+BM_BitmapCommitXor(benchmark::State &state)
+{
+    Bitmap64 committed(0x5a5a5a5a5a5a5a5aull);
+    Bitmap64 updated(0x0f0f0f0f0f0f0f0full);
+    for (auto _ : state) {
+        committed ^= updated;
+        benchmark::DoNotOptimize(committed);
+    }
+}
+BENCHMARK(BM_BitmapCommitXor);
+
+void
+BM_BitmapPopcount(benchmark::State &state)
+{
+    Bitmap64 b(0x123456789abcdefull);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(b.popcount());
+    }
+}
+BENCHMARK(BM_BitmapPopcount);
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    Cache cache(CacheParams{"l1", 32 * 1024, 8, 4});
+    cache.access(0x1000, false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(0x1000, false));
+    }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    Tlb tlb(64);
+    for (Vpn v = 0; v < 64; ++v) {
+        TlbEntry e;
+        e.valid = true;
+        e.vpn = v;
+        tlb.insert(e);
+    }
+    Vpn probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(probe));
+        probe = (probe + 1) % 64;
+    }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_SspTransaction(benchmark::State &state)
+{
+    setVerbose(false);
+    SspConfig cfg;
+    cfg.heapPages = 1024;
+    cfg.shadowPoolPages = 1024;
+    cfg.logPages = 512;
+    SspSystem sys(cfg);
+    std::uint64_t v = 0;
+    const unsigned lines = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        sys.begin(0);
+        for (unsigned i = 0; i < lines; ++i)
+            sys.store(0, 0x10000 + i * kLineSize, &v, sizeof(v));
+        sys.commit(0);
+        ++v;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SspTransaction)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_SspLoadHit(benchmark::State &state)
+{
+    setVerbose(false);
+    SspConfig cfg;
+    cfg.heapPages = 1024;
+    cfg.shadowPoolPages = 1024;
+    cfg.logPages = 512;
+    SspSystem sys(cfg);
+    std::uint64_t v = 42;
+    sys.begin(0);
+    sys.store(0, 0x20000, &v, sizeof(v));
+    sys.commit(0);
+    for (auto _ : state) {
+        std::uint64_t out = 0;
+        sys.load(0, 0x20000, &out, sizeof(out));
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_SspLoadHit);
+
+} // namespace
+
+BENCHMARK_MAIN();

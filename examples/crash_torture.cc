@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Crash-torture scenario: a persistent B+-tree index under repeated
+ * power failures.
+ *
+ * Round after round, the example runs a batch of insert/delete
+ * transactions, pulls the plug at a pseudo-random point (sometimes with
+ * a transaction still open), recovers, checks the SSP structural
+ * invariants, and functionally verifies the tree against its reference
+ * model.  This is the paper's recovery story (section 4.4) made
+ * executable.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/recovery.hh"
+#include "core/ssp_system.hh"
+#include "workloads/btree.hh"
+#include "workloads/persist_alloc.hh"
+
+using namespace ssp;
+
+int
+main()
+{
+    setVerbose(false);
+    SspConfig cfg;
+    cfg.heapPages = 8192;
+    cfg.shadowPoolPages = 2048;
+    cfg.logPages = 1024;
+    SspSystem sys(cfg);
+    PersistAlloc alloc(kPageSize, 8192ull * kPageSize);
+    BTreeWorkload tree(sys, alloc, 2048, KeyDist::Uniform, 99);
+    tree.setup();
+
+    Rng rng(123);
+    unsigned crashes = 0;
+    unsigned dangling = 0;
+    std::uint64_t total_txs = 0;
+
+    for (unsigned round = 0; round < 20; ++round) {
+        const unsigned batch = 20 + static_cast<unsigned>(
+                                        rng.nextBounded(200));
+        for (unsigned i = 0; i < batch; ++i)
+            tree.runOp(0);
+        total_txs += batch;
+
+        // Half the time, crash with a transaction torn mid-flight.
+        if (rng.nextBool(0.5)) {
+            sys.begin(0);
+            std::uint64_t garbage = rng.next();
+            sys.store(0, 0x400000 + (rng.next() % 64) * 64, &garbage, 8);
+            ++dangling;
+        }
+        sys.crash();
+        sys.recover();
+        ++crashes;
+
+        RecoveryReport report = verifyRecoveredState(sys);
+        const bool functional = tree.verify();
+        if (!report.ok || !functional) {
+            std::printf("round %u: CORRUPTION DETECTED (%s)\n", round,
+                        !report.ok ? report.violations[0].c_str()
+                                   : "tree mismatch");
+            return 1;
+        }
+        std::printf("round %2u: %3u txs, crash%s -> recovered, tree of "
+                    "%llu keys verified\n",
+                    round, batch, dangling > 0 ? " (torn tx)" : "",
+                    static_cast<unsigned long long>(tree.size()));
+    }
+
+    std::printf("\nsurvived %u power failures (%u with torn "
+                "transactions) across %llu committed transactions; "
+                "every recovery produced a consistent image\n",
+                crashes, dangling,
+                static_cast<unsigned long long>(total_txs));
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: the smallest complete SSP program.
+ *
+ * Builds an SSP system, runs a failure-atomic transaction against the
+ * persistent heap, simulates a power failure, recovers, and shows that
+ * committed data survived while an interrupted transaction vanished.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "core/recovery.hh"
+#include "core/ssp_system.hh"
+
+using namespace ssp;
+
+int
+main()
+{
+    setVerbose(false);
+
+    // 1. Configure the machine (Table 2 defaults; small heap for demo).
+    SspConfig cfg;
+    cfg.heapPages = 1024;        // 4 MiB persistent heap
+    cfg.shadowPoolPages = 1024;  // shadow pages for SSP
+    cfg.logPages = 256;
+    SspSystem sys(cfg);
+
+    // 2. A failure-atomic transaction: move "money" between two
+    //    accounts that live on different persistent pages.
+    const Addr alice = 0x1000;
+    const Addr bob = 0x2000;
+    std::uint64_t v;
+
+    sys.begin(0);
+    v = 900;
+    sys.store(0, alice, &v, sizeof(v));
+    v = 100;
+    sys.store(0, bob, &v, sizeof(v));
+    sys.commit(0); // durable from here on
+
+    // 3. Start another transfer but crash before committing.
+    sys.begin(0);
+    v = 0;
+    sys.store(0, alice, &v, sizeof(v));
+    std::printf("power failure mid-transaction...\n");
+    sys.crash();
+    sys.recover();
+
+    // 4. The committed state survived; the torn transfer did not.
+    std::uint64_t a = 0, b = 0;
+    sys.loadRaw(alice, &a, sizeof(a));
+    sys.loadRaw(bob, &b, sizeof(b));
+    std::printf("after recovery: alice=%llu bob=%llu (expected 900/100)\n",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+
+    RecoveryReport report = verifyRecoveredState(sys);
+    std::printf("recovery invariants: %s\n", report.ok ? "OK" : "VIOLATED");
+
+    // 5. A peek at the cost model.
+    std::printf("simulated cycles: %llu | NVRAM writes: %llu "
+                "(journal: %llu)\n",
+                static_cast<unsigned long long>(sys.machine().maxClock()),
+                static_cast<unsigned long long>(
+                    sys.machine().bus().nvramWrites()),
+                static_cast<unsigned long long>(sys.loggingWrites()));
+    return report.ok && a == 900 && b == 100 ? 0 : 1;
+}

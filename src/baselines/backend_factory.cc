@@ -1,0 +1,64 @@
+#include "baselines/backend_factory.hh"
+
+#include "baselines/redo_log.hh"
+#include "baselines/shadow_paging.hh"
+#include "baselines/undo_log.hh"
+#include "common/logging.hh"
+#include "core/ssp_system.hh"
+
+namespace ssp
+{
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Ssp:
+        return "SSP";
+      case BackendKind::UndoLog:
+        return "UNDO-LOG";
+      case BackendKind::RedoLog:
+        return "REDO-LOG";
+      case BackendKind::Shadow:
+        return "SHADOW";
+    }
+    return "unknown";
+}
+
+BackendKind
+parseBackendKind(const std::string &name)
+{
+    if (name == "SSP" || name == "ssp")
+        return BackendKind::Ssp;
+    if (name == "UNDO-LOG" || name == "undo" || name == "undo-log")
+        return BackendKind::UndoLog;
+    if (name == "REDO-LOG" || name == "redo" || name == "redo-log")
+        return BackendKind::RedoLog;
+    if (name == "SHADOW" || name == "shadow")
+        return BackendKind::Shadow;
+    ssp_fatal("unknown backend '%s'", name.c_str());
+}
+
+std::unique_ptr<AtomicityBackend>
+makeBackend(BackendKind kind, const SspConfig &cfg)
+{
+    switch (kind) {
+      case BackendKind::Ssp:
+        return std::make_unique<SspSystem>(cfg);
+      case BackendKind::UndoLog:
+        return std::make_unique<UndoLogBackend>(cfg);
+      case BackendKind::RedoLog:
+        return std::make_unique<RedoLogBackend>(cfg);
+      case BackendKind::Shadow:
+        return std::make_unique<ShadowPagingBackend>(cfg);
+    }
+    ssp_panic("unreachable backend kind");
+}
+
+std::vector<BackendKind>
+paperBackends()
+{
+    return {BackendKind::UndoLog, BackendKind::RedoLog, BackendKind::Ssp};
+}
+
+} // namespace ssp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Factory for the evaluated failure-atomicity designs.
+ */
+
+#ifndef SSP_BASELINES_BACKEND_FACTORY_HH
+#define SSP_BASELINES_BACKEND_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.hh"
+#include "core/config.hh"
+
+namespace ssp
+{
+
+/** The designs the evaluation compares. */
+enum class BackendKind
+{
+    Ssp,       ///< the paper's contribution
+    UndoLog,   ///< naive hardware undo logging
+    RedoLog,   ///< DHTM-style hardware redo logging
+    Shadow,    ///< conventional page-granularity shadow paging (ablation)
+};
+
+/** Printable design name ("SSP", "UNDO-LOG", ...). */
+const char *backendKindName(BackendKind kind);
+
+/** Parse a design name; fatal on unknown names. */
+BackendKind parseBackendKind(const std::string &name);
+
+/** Build a design over a freshly constructed machine. */
+std::unique_ptr<AtomicityBackend> makeBackend(BackendKind kind,
+                                              const SspConfig &cfg);
+
+/** The three designs the paper's figures compare, in plot order. */
+std::vector<BackendKind> paperBackends();
+
+} // namespace ssp
+
+#endif // SSP_BASELINES_BACKEND_FACTORY_HH

@@ -1,0 +1,189 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    ssp_assert(params.ways > 0);
+    const std::uint64_t num_lines = params.sizeBytes / kLineSize;
+    ssp_assert(num_lines % params.ways == 0,
+               "cache size must be a multiple of ways*line");
+    numSets_ = num_lines / params.ways;
+    ssp_assert(numSets_ > 0);
+    lines_.resize(num_lines);
+}
+
+std::uint64_t
+Cache::setOf(Addr line_addr) const
+{
+    return (line_addr >> kLineShift) % numSets_;
+}
+
+Cache::Line *
+Cache::find(Addr line_addr)
+{
+    const std::uint64_t set = setOf(line_addr);
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Line &line = lines_[set * params_.ways + w];
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->find(line_addr);
+}
+
+Cache::Line &
+Cache::victimIn(std::uint64_t set)
+{
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Line &line = lines_[set * params_.ways + w];
+        if (!line.valid)
+            return line;
+        if (victim == nullptr || line.lru < victim->lru)
+            victim = &line;
+    }
+    return *victim;
+}
+
+void
+Cache::touch(Line &line)
+{
+    line.lru = ++lruClock_;
+}
+
+CacheAccessResult
+Cache::access(Addr line_addr, bool is_write)
+{
+    ssp_assert(lineOffset(line_addr) == 0, "unaligned line address");
+    CacheAccessResult res;
+    if (Line *line = find(line_addr)) {
+        ++hits_;
+        res.hit = true;
+        if (is_write)
+            line->dirty = true;
+        touch(*line);
+        return res;
+    }
+    ++misses_;
+    res = insert(line_addr, is_write, false);
+    res.hit = false;
+    return res;
+}
+
+CacheAccessResult
+Cache::insert(Addr line_addr, bool dirty, bool tx)
+{
+    CacheAccessResult res;
+    if (Line *line = find(line_addr)) {
+        // Merging an insert into a present line keeps the stickier state.
+        line->dirty = line->dirty || dirty;
+        line->tx = line->tx || tx;
+        touch(*line);
+        return res;
+    }
+    Line &victim = victimIn(setOf(line_addr));
+    if (victim.valid && victim.dirty) {
+        ++evictions_;
+        res.writeback = true;
+        res.victimAddr = victim.tag;
+        res.victimTx = victim.tx;
+    } else if (victim.valid) {
+        ++evictions_;
+    }
+    victim.tag = line_addr;
+    victim.valid = true;
+    victim.dirty = dirty;
+    victim.tx = tx;
+    touch(victim);
+    return res;
+}
+
+bool
+Cache::probe(Addr line_addr) const
+{
+    return find(line_addr) != nullptr;
+}
+
+bool
+Cache::isDirty(Addr line_addr) const
+{
+    const Line *line = find(line_addr);
+    return line != nullptr && line->dirty;
+}
+
+void
+Cache::cleanLine(Addr line_addr)
+{
+    if (Line *line = find(line_addr))
+        line->dirty = false;
+}
+
+void
+Cache::setTxBit(Addr line_addr, bool tx)
+{
+    if (Line *line = find(line_addr))
+        line->tx = tx;
+}
+
+bool
+Cache::txBit(Addr line_addr) const
+{
+    const Line *line = find(line_addr);
+    return line != nullptr && line->tx;
+}
+
+bool
+Cache::invalidate(Addr line_addr)
+{
+    if (Line *line = find(line_addr)) {
+        line->valid = false;
+        line->dirty = false;
+        line->tx = false;
+        return true;
+    }
+    return false;
+}
+
+CacheAccessResult
+Cache::remap(Addr old_addr, Addr new_addr)
+{
+    CacheAccessResult res;
+    Line *old_line = find(old_addr);
+    if (old_line == nullptr)
+        return res;
+    const bool dirty = old_line->dirty;
+    const bool tx = old_line->tx;
+    old_line->valid = false;
+    old_line->dirty = false;
+    old_line->tx = false;
+    res = insert(new_addr, dirty, tx);
+    res.hit = true; // signals "old line was present and moved"
+    return res;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace ssp

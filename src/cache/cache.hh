@@ -1,0 +1,143 @@
+/**
+ * @file
+ * One level of set-associative, write-back, write-allocate cache.
+ *
+ * The simulator keeps functional data in PhysMem, so caches are tag+state
+ * arrays only: they decide hit/miss, track dirtiness for write-back
+ * accounting, and carry the two SSP extensions from the paper:
+ *
+ *  - a per-line TX bit marking lines speculatively written by the current
+ *    transaction (section 3.5), and
+ *  - tag remapping: on the first transactional write to a line, the cached
+ *    copy is re-tagged to the "other" physical page instead of performing
+ *    a copy-on-write (section 3.2, Figure 4 step 3).
+ */
+
+#ifndef SSP_CACHE_CACHE_HH
+#define SSP_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ssp
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    const char *name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    /** Lookup latency in core cycles (Table 2: 4 / 6 / 27). */
+    Cycles latency = 4;
+};
+
+/** Result of a cache lookup/allocation. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** A dirty victim was evicted and must be handled by the caller. */
+    bool writeback = false;
+    /** Line address of the dirty victim (valid when writeback). */
+    Addr victimAddr = 0;
+    /** TX bit of the dirty victim. */
+    bool victimTx = false;
+};
+
+/**
+ * Tag/state array for one cache level.  True-LRU replacement within the
+ * set; victims are reported to the caller, which models the next level.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up @p line_addr, allocating it on a miss.
+     *
+     * @param line_addr 64-byte-aligned physical address.
+     * @param is_write Marks the line dirty on a write.
+     * @return hit/miss and any dirty victim.
+     */
+    CacheAccessResult access(Addr line_addr, bool is_write);
+
+    /** Look up without allocating; returns true on hit. */
+    bool probe(Addr line_addr) const;
+
+    /** True if present and dirty. */
+    bool isDirty(Addr line_addr) const;
+
+    /** Clear the dirty bit (after an explicit clwb write-back). */
+    void cleanLine(Addr line_addr);
+
+    /** Mark/clear the TX bit on a present line. */
+    void setTxBit(Addr line_addr, bool tx);
+
+    /** TX bit of a present line; false if absent. */
+    bool txBit(Addr line_addr) const;
+
+    /** Drop a line (no write-back); returns true if it was present. */
+    bool invalidate(Addr line_addr);
+
+    /**
+     * SSP tag remap: move the state of @p old_addr to @p new_addr.
+     * @return true if the old line was present (and thus moved).
+     *
+     * The dirty bit travels with the line.  The destination must not
+     * collide with a live different line in the same slot — if the new
+     * tag's set has no free way, the caller receives the victim exactly
+     * as in access().
+     */
+    CacheAccessResult remap(Addr old_addr, Addr new_addr);
+
+    /**
+     * Insert a line (used for fills from lower levels / victims from
+     * upper levels), returning any dirty victim.
+     */
+    CacheAccessResult insert(Addr line_addr, bool dirty, bool tx);
+
+    /** Drop everything (simulated power failure). */
+    void invalidateAll();
+
+    Cycles latency() const { return params_.latency; }
+    const CacheParams &params() const { return params_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Number of currently valid lines (for tests). */
+    std::uint64_t validLines() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool tx = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t setOf(Addr line_addr) const;
+    Line *find(Addr line_addr);
+    const Line *find(Addr line_addr) const;
+    Line &victimIn(std::uint64_t set);
+    void touch(Line &line);
+
+    CacheParams params_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_; // numSets_ * ways, set-major
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace ssp
+
+#endif // SSP_CACHE_CACHE_HH

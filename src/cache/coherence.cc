@@ -1,0 +1,3 @@
+// CoherenceBus is header-only; this translation unit exists so the build
+// has a home for future directory-protocol extensions.
+#include "cache/coherence.hh"

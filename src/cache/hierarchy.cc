@@ -1,0 +1,183 @@
+#include "cache/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+CacheHierarchy::CacheHierarchy(unsigned num_cores,
+                               const HierarchyParams &params, MemoryBus &bus)
+    : params_(params), bus_(bus)
+{
+    ssp_assert(num_cores > 0);
+    for (unsigned i = 0; i < num_cores; ++i) {
+        l1s_.push_back(std::make_unique<Cache>(params.l1));
+        l2s_.push_back(std::make_unique<Cache>(params.l2));
+    }
+    l3_ = std::make_unique<Cache>(params.l3);
+}
+
+void
+CacheHierarchy::handleVictim(CoreId core, unsigned level,
+                             const CacheAccessResult &res, Cycles now)
+{
+    if (!res.writeback)
+        return;
+    if (level == 0) {
+        // L1 victim falls into L2.
+        auto r2 = l2s_[core]->insert(res.victimAddr, true, res.victimTx);
+        handleVictim(core, 1, r2, now);
+    } else if (level == 1) {
+        // L2 victim falls into L3.
+        auto r3 = l3_->insert(res.victimAddr, true, res.victimTx);
+        handleVictim(core, 2, r3, now);
+    } else {
+        // L3 victim goes to memory.  Background bandwidth: occupies a
+        // bank but nobody stalls on it.
+        bus_.issueWrite(res.victimAddr, WriteCategory::Data, now, true);
+    }
+}
+
+Cycles
+CacheHierarchy::read(CoreId core, Addr addr, Cycles now)
+{
+    const Addr line = lineBase(addr);
+    Cache &l1 = *l1s_[core];
+    Cache &l2 = *l2s_[core];
+
+    auto r1 = l1.access(line, false);
+    Cycles done = now + l1.latency();
+    handleVictim(core, 0, r1, now);
+    if (r1.hit)
+        return done;
+
+    auto r2 = l2.access(line, false);
+    done += l2.latency();
+    handleVictim(core, 1, r2, now);
+    if (r2.hit)
+        return done;
+
+    auto r3 = l3_->access(line, false);
+    done += l3_->latency();
+    handleVictim(core, 2, r3, now);
+    if (r3.hit)
+        return done;
+
+    return bus_.issueRead(line, done);
+}
+
+Cycles
+CacheHierarchy::write(CoreId core, Addr addr, Cycles now)
+{
+    const Addr line = lineBase(addr);
+    Cache &l1 = *l1s_[core];
+    Cache &l2 = *l2s_[core];
+
+    auto r1 = l1.access(line, true);
+    Cycles done = now + l1.latency();
+    handleVictim(core, 0, r1, now);
+    if (r1.hit)
+        return done;
+
+    // Write-allocate: fetch through the lower levels.
+    auto r2 = l2.access(line, false);
+    done += l2.latency();
+    handleVictim(core, 1, r2, now);
+    if (r2.hit)
+        return done;
+
+    auto r3 = l3_->access(line, false);
+    done += l3_->latency();
+    handleVictim(core, 2, r3, now);
+    if (r3.hit)
+        return done;
+
+    return bus_.issueRead(line, done);
+}
+
+Cycles
+CacheHierarchy::flushLine(CoreId core, Addr addr, WriteCategory cat,
+                          Cycles now, bool background)
+{
+    const Addr line = lineBase(addr);
+    bool dirty = false;
+    if (l1s_[core]->isDirty(line)) {
+        l1s_[core]->cleanLine(line);
+        dirty = true;
+    }
+    if (l2s_[core]->isDirty(line)) {
+        l2s_[core]->cleanLine(line);
+        dirty = true;
+    }
+    if (l3_->isDirty(line)) {
+        l3_->cleanLine(line);
+        dirty = true;
+    }
+    // A line dirty in a *different* core's private caches belongs to that
+    // core's ongoing transaction; locking at the workload level prevents
+    // cross-core flushes of speculative data.
+    if (!dirty)
+        return now;
+    return bus_.issueWrite(line, cat, now, background);
+}
+
+void
+CacheHierarchy::invalidateLine(Addr addr)
+{
+    const Addr line = lineBase(addr);
+    for (auto &l1 : l1s_)
+        l1->invalidate(line);
+    for (auto &l2 : l2s_)
+        l2->invalidate(line);
+    l3_->invalidate(line);
+}
+
+void
+CacheHierarchy::remapLine(CoreId core, Addr old_addr, Addr new_addr,
+                          Cycles now)
+{
+    const Addr old_line = lineBase(old_addr);
+    const Addr new_line = lineBase(new_addr);
+    auto r1 = l1s_[core]->remap(old_line, new_line);
+    handleVictim(core, 0, r1, now);
+    auto r2 = l2s_[core]->remap(old_line, new_line);
+    handleVictim(core, 1, r2, now);
+    auto r3 = l3_->remap(old_line, new_line);
+    handleVictim(core, 2, r3, now);
+    // Copies of the committed line in other cores' private caches remain
+    // valid read-only copies of the committed version; nothing to do.
+}
+
+void
+CacheHierarchy::setTxBit(CoreId core, Addr addr, bool tx)
+{
+    l1s_[core]->setTxBit(lineBase(addr), tx);
+}
+
+bool
+CacheHierarchy::isCached(CoreId core, Addr addr) const
+{
+    const Addr line = lineBase(addr);
+    return l1s_[core]->probe(line) || l2s_[core]->probe(line) ||
+           l3_->probe(line);
+}
+
+bool
+CacheHierarchy::isDirty(CoreId core, Addr addr) const
+{
+    const Addr line = lineBase(addr);
+    return l1s_[core]->isDirty(line) || l2s_[core]->isDirty(line) ||
+           l3_->isDirty(line);
+}
+
+void
+CacheHierarchy::invalidateAll()
+{
+    for (auto &l1 : l1s_)
+        l1->invalidateAll();
+    for (auto &l2 : l2s_)
+        l2->invalidateAll();
+    l3_->invalidateAll();
+}
+
+} // namespace ssp

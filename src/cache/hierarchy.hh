@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Three-level cache hierarchy: private L1D and L2 per core, shared L3,
+ * backed by the memory bus (Table 2 geometry).
+ *
+ * Functional data lives in PhysMem; the hierarchy provides timing, dirty
+ * tracking, write-back accounting, and the SSP line-remap operation
+ * applied at every level where the line is present.
+ */
+
+#ifndef SSP_CACHE_HIERARCHY_HH
+#define SSP_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+#include "mem/memory_bus.hh"
+
+namespace ssp
+{
+
+/** Geometry of the full hierarchy. */
+struct HierarchyParams
+{
+    CacheParams l1{"l1d", 32 * 1024, 8, 4};
+    CacheParams l2{"l2", 256 * 1024, 8, 6};
+    CacheParams l3{"l3", 12 * 1024 * 1024, 16, 27};
+};
+
+/**
+ * The cache hierarchy of the simulated machine.
+ *
+ * All addresses are physical line addresses.  The model is exclusive-ish
+ * and simple: fills allocate in every level on the path; dirty victims
+ * fall one level down; dirty L3 victims are written back to memory as
+ * WriteCategory::Data (logs and journals never pass through the caches —
+ * hardware logging designs stream them past the hierarchy).
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(unsigned num_cores, const HierarchyParams &params,
+                   MemoryBus &bus);
+
+    /** Timed read of the line containing @p addr. */
+    Cycles read(CoreId core, Addr addr, Cycles now);
+
+    /** Timed write (write-allocate) of the line containing @p addr. */
+    Cycles write(CoreId core, Addr addr, Cycles now);
+
+    /**
+     * clwb semantics: if the line is dirty anywhere in the hierarchy,
+     * write it back to memory (category @p cat) and clean it; the line
+     * stays cached.  Returns the completion time of the write-back (or
+     * @p now when nothing was dirty).
+     */
+    Cycles flushLine(CoreId core, Addr addr, WriteCategory cat, Cycles now,
+                     bool background = false);
+
+    /** Drop a line everywhere without write-back (SSP abort path). */
+    void invalidateLine(Addr addr);
+
+    /**
+     * SSP first-transactional-write remap: move the cached copy of
+     * @p old_addr (committed location) so it tags @p new_addr (the
+     * "other" physical page).  If the old copy is not cached, the caller
+     * has already paid for the fill.  Dirty victims displaced by the
+     * re-tagged line are handled as normal write-backs.
+     */
+    void remapLine(CoreId core, Addr old_addr, Addr new_addr, Cycles now);
+
+    /** Mark or clear the TX bit in the L1 copy. */
+    void setTxBit(CoreId core, Addr addr, bool tx);
+
+    /** True if the line is present in any level. */
+    bool isCached(CoreId core, Addr addr) const;
+
+    /** True if the line is dirty in any level. */
+    bool isDirty(CoreId core, Addr addr) const;
+
+    /** Simulated power failure: all volatile cache state disappears. */
+    void invalidateAll();
+
+    Cache &l1(CoreId core) { return *l1s_[core]; }
+    Cache &l2(CoreId core) { return *l2s_[core]; }
+    Cache &l3() { return *l3_; }
+    unsigned numCores() const { return static_cast<unsigned>(l1s_.size()); }
+
+  private:
+    /** Handle a dirty victim evicted from level @p level (0=L1, 1=L2). */
+    void handleVictim(CoreId core, unsigned level,
+                      const CacheAccessResult &res, Cycles now);
+
+    HierarchyParams params_;
+    MemoryBus &bus_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::vector<std::unique_ptr<Cache>> l2s_;
+    std::unique_ptr<Cache> l3_;
+};
+
+} // namespace ssp
+
+#endif // SSP_CACHE_HIERARCHY_HH

@@ -1,0 +1,17 @@
+#include "common/bitmap64.hh"
+
+namespace ssp
+{
+
+std::string
+Bitmap64::toString() const
+{
+    std::string out(64, '0');
+    for (unsigned i = 0; i < 64; ++i) {
+        if (test(i))
+            out[i] = '1';
+    }
+    return out;
+}
+
+} // namespace ssp

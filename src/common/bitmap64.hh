@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A 64-bit per-page bitmap.
+ *
+ * SSP represents the state of each cache line in a 4 KiB page with one bit
+ * in each of three bitmaps (current / updated / committed, paper section
+ * 3.2).  This wrapper keeps the bit-twiddling in one audited place and
+ * gives the operations the names the paper uses.
+ */
+
+#ifndef SSP_COMMON_BITMAP64_HH
+#define SSP_COMMON_BITMAP64_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace ssp
+{
+
+/**
+ * Fixed 64-bit bitmap, bit i describes cache line i of a page.
+ *
+ * All mutators are simple bitwise operations, mirroring the paper's claim
+ * that "atomic updates and transaction commit only involve updating the
+ * per-page metadata using simple bitwise operations".
+ */
+class Bitmap64
+{
+  public:
+    constexpr Bitmap64() = default;
+    constexpr explicit Bitmap64(std::uint64_t raw) : bits_(raw) {}
+
+    /** Raw 64-bit value (what gets journaled / stored in a TLB entry). */
+    constexpr std::uint64_t raw() const { return bits_; }
+
+    /** Test bit @p idx. @pre idx < 64. */
+    constexpr bool
+    test(unsigned idx) const
+    {
+        return (bits_ >> idx) & 1u;
+    }
+
+    /** Set bit @p idx to one. */
+    constexpr void set(unsigned idx) { bits_ |= (std::uint64_t{1} << idx); }
+
+    /** Clear bit @p idx. */
+    constexpr void reset(unsigned idx) { bits_ &= ~(std::uint64_t{1} << idx); }
+
+    /** Invert bit @p idx (the flip-current-bit operation). */
+    constexpr void flip(unsigned idx) { bits_ ^= (std::uint64_t{1} << idx); }
+
+    /** Clear the whole bitmap (commit clears the updated bitmap). */
+    constexpr void clear() { bits_ = 0; }
+
+    /** Number of one-bits; used to pick the consolidation direction. */
+    constexpr unsigned popcount() const { return std::popcount(bits_); }
+
+    /** True when no bit is set. */
+    constexpr bool none() const { return bits_ == 0; }
+
+    /** True when any bit is set. */
+    constexpr bool any() const { return bits_ != 0; }
+
+    /**
+     * Index of the lowest set bit.
+     * @pre any() — calling this on an empty bitmap is a programming error.
+     */
+    constexpr unsigned lowestSet() const { return std::countr_zero(bits_); }
+
+    /** XOR, the commit operation: committed ^= updated. */
+    constexpr Bitmap64
+    operator^(Bitmap64 other) const
+    {
+        return Bitmap64(bits_ ^ other.bits_);
+    }
+
+    constexpr Bitmap64 &
+    operator^=(Bitmap64 other)
+    {
+        bits_ ^= other.bits_;
+        return *this;
+    }
+
+    constexpr Bitmap64
+    operator&(Bitmap64 other) const
+    {
+        return Bitmap64(bits_ & other.bits_);
+    }
+
+    constexpr Bitmap64
+    operator|(Bitmap64 other) const
+    {
+        return Bitmap64(bits_ | other.bits_);
+    }
+
+    constexpr Bitmap64 operator~() const { return Bitmap64(~bits_); }
+
+    constexpr bool operator==(const Bitmap64 &) const = default;
+
+    /** Render as a 64-character 0/1 string, bit 0 first (for diagnostics). */
+    std::string toString() const;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace ssp
+
+#endif // SSP_COMMON_BITMAP64_HH

@@ -1,0 +1,110 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ssp
+{
+
+namespace
+{
+
+bool g_verbose = true;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, ap2);
+        out.resize(static_cast<std::size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throwing (rather than abort()) lets the test suite exercise panic
+    // paths; uncaught it still terminates the process.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+assertFailImpl(const char *file, int line, const char *cond, const char *fmt,
+               ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: assertion '%s' failed%s%s (%s:%d)\n", cond,
+                 msg.empty() ? "" : ": ", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::logic_error(std::string("assertion failed: ") + cond +
+                           (msg.empty() ? "" : (": " + msg)));
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (!g_verbose)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace ssp

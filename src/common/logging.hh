@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something is off but the simulation can continue.
+ * inform() — status messages.
+ */
+
+#ifndef SSP_COMMON_LOGGING_HH
+#define SSP_COMMON_LOGGING_HH
+
+namespace ssp
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void assertFailImpl(const char *file, int line, const char *cond,
+                                 const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace ssp
+
+#define ssp_panic(...) ::ssp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define ssp_fatal(...) ::ssp::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define ssp_warn(...) ::ssp::warnImpl(__VA_ARGS__)
+#define ssp_inform(...) ::ssp::informImpl(__VA_ARGS__)
+
+/**
+ * Assert an internal invariant; compiled into all build types.
+ * The optional message must start with a string literal:
+ *   ssp_assert(x < n, "x=%u out of range", x);
+ */
+#define ssp_assert(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::ssp::assertFailImpl(__FILE__, __LINE__, #cond,                 \
+                                  "" __VA_ARGS__);                           \
+        }                                                                    \
+    } while (0)
+
+#endif // SSP_COMMON_LOGGING_HH

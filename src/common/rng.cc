@@ -1,0 +1,138 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+Rng::Rng(std::uint64_t seed)
+{
+    // SplitMix64 to expand the seed into two non-zero state words.
+    auto splitmix = [&seed]() {
+        seed += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = seed;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    };
+    s0_ = splitmix();
+    s1_ = splitmix();
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    ssp_assert(bound > 0);
+    // Rejection sampling to avoid modulo bias for large bounds.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    ssp_assert(lo <= hi);
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+ZipfGenerator::ZipfGenerator(Kind kind, std::uint64_t n, std::uint64_t seed)
+    : kind_(kind), n_(n), rng_(seed)
+{
+    ssp_assert(n > 0);
+}
+
+ZipfGenerator
+ZipfGenerator::hotspot(std::uint64_t n, double hot_frac, double hot_prob,
+                       std::uint64_t seed)
+{
+    ssp_assert(hot_frac > 0 && hot_frac <= 1.0);
+    ssp_assert(hot_prob >= 0 && hot_prob <= 1.0);
+    ZipfGenerator g(Kind::Hotspot, n, seed);
+    g.hotCount_ = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(n) * hot_frac));
+    if (g.hotCount_ == 0)
+        g.hotCount_ = 1;
+    if (g.hotCount_ > n)
+        g.hotCount_ = n;
+    g.hotProb_ = hot_prob;
+    return g;
+}
+
+ZipfGenerator
+ZipfGenerator::classic(std::uint64_t n, double theta, std::uint64_t seed)
+{
+    ssp_assert(theta > 0 && theta < 1.0);
+    ZipfGenerator g(Kind::Classic, n, seed);
+    g.theta_ = theta;
+    double zetan = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+    double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+    g.zetan_ = zetan;
+    g.alpha_ = 1.0 / (1.0 - theta);
+    g.eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - zeta2 / zetan);
+    return g;
+}
+
+std::uint64_t
+ZipfGenerator::next()
+{
+    if (kind_ == Kind::Hotspot) {
+        if (rng_.nextBool(hotProb_)) {
+            // Hot keys are spread over the key space (every 1/hot_frac-th
+            // key) so that hotness is not an artifact of allocation order.
+            std::uint64_t h = rng_.nextBounded(hotCount_);
+            std::uint64_t stride = n_ / hotCount_;
+            if (stride == 0)
+                stride = 1;
+            return (h * stride) % n_;
+        }
+        return rng_.nextBounded(n_);
+    }
+    // Gray et al. "Quickly generating billion-record synthetic databases".
+    double u = rng_.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+}
+
+} // namespace ssp

@@ -1,0 +1,58 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace ssp
+{
+
+std::uint64_t
+StatGroup::get(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << " = " << kv.second << '\n';
+    return os.str();
+}
+
+void
+StatSummary::sample(std::uint64_t v)
+{
+    ++count_;
+    sum_ += v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+void
+StatSummary::reset()
+{
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~std::uint64_t{0};
+    max_ = 0;
+}
+
+double
+StatSummary::mean() const
+{
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
+                                   static_cast<double>(count_);
+}
+
+} // namespace ssp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight statistics counters.
+ *
+ * Every subsystem owns a StatGroup; the benches and tests read counters by
+ * name.  Counters are plain uint64 — the simulator is single-threaded (it
+ * *models* multiple cores), so no atomics are needed.
+ */
+
+#ifndef SSP_COMMON_STATS_HH
+#define SSP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssp
+{
+
+/** A named bag of counters with hierarchical dotted names. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Add @p delta to counter @p key (creating it at zero). */
+    void
+    add(const std::string &key, std::uint64_t delta = 1)
+    {
+        counters_[key] += delta;
+    }
+
+    /** Set counter @p key to @p value. */
+    void
+    set(const std::string &key, std::uint64_t value)
+    {
+        counters_[key] = value;
+    }
+
+    /** Read counter @p key; absent counters read as zero. */
+    std::uint64_t get(const std::string &key) const;
+
+    /** Reset every counter to zero (keeps the keys). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Multi-line "name.key = value" dump. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Running scalar summary (count/sum/min/max) for quantities like
+ * write-set sizes, where the paper reports averages and maxima (Table 3).
+ */
+class StatSummary
+{
+  public:
+    void sample(std::uint64_t v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+} // namespace ssp
+
+#endif // SSP_COMMON_STATS_HH

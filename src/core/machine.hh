@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The simulated machine substrate shared by SSP and the baseline
+ * designs: physical memory, the memory bus, the cache hierarchy, the
+ * page table, the coherence bus, per-core TLBs and per-core clocks.
+ */
+
+#ifndef SSP_CORE_MACHINE_HH
+#define SSP_CORE_MACHINE_HH
+
+#include <vector>
+
+#include "cache/coherence.hh"
+#include "cache/hierarchy.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "mem/memory_bus.hh"
+#include "mem/phys_mem.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace ssp
+{
+
+/** One simulated machine. */
+class Machine
+{
+  public:
+    explicit Machine(const SspConfig &cfg)
+        : cfg_(cfg), mem_(cfg.nvramPages(), cfg.dramPages),
+          bus_(mem_, cfg.dram, cfg.effectiveNvram()),
+          caches_(cfg.numCores, cfg.caches, bus_),
+          pt_(cfg.pageWalkCycles),
+          coherence_(cfg.numCores, cfg.broadcastLatency),
+          clocks_(cfg.numCores, 0)
+    {
+        for (unsigned i = 0; i < cfg.numCores; ++i)
+            tlbs_.emplace_back(cfg.tlbEntries);
+        // Identity-map the persistent heap up front.  Consolidation may
+        // later retarget individual mappings; recovery relies on every
+        // heap page having a page-table entry.
+        for (std::uint64_t vpn = 0; vpn < cfg.heapPages; ++vpn)
+            pt_.map(vpn, vpn);
+    }
+
+    const SspConfig &cfg() const { return cfg_; }
+    PhysMem &mem() { return mem_; }
+    MemoryBus &bus() { return bus_; }
+    CacheHierarchy &caches() { return caches_; }
+    PageTable &pt() { return pt_; }
+    CoherenceBus &coherence() { return coherence_; }
+    Tlb &tlb(CoreId core) { return tlbs_[core]; }
+
+    Cycles &clock(CoreId core) { return clocks_[core]; }
+    Cycles clock(CoreId core) const { return clocks_[core]; }
+
+    /** Maximum core clock — wall-clock time of the simulated run. */
+    Cycles
+    maxClock() const
+    {
+        Cycles m = 0;
+        for (Cycles c : clocks_)
+            m = std::max(m, c);
+        return m;
+    }
+
+    /** Synchronize every core clock to the maximum (barrier). */
+    void
+    syncClocks()
+    {
+        Cycles m = maxClock();
+        for (auto &c : clocks_)
+            c = m;
+    }
+
+    /** Volatile state lost on power failure (caches, TLBs, DRAM). */
+    void
+    powerFail()
+    {
+        caches_.invalidateAll();
+        for (auto &tlb : tlbs_)
+            tlb.flushAll();
+        mem_.powerFail();
+        bus_.resetTiming();
+    }
+
+  private:
+    SspConfig cfg_;
+    PhysMem mem_;
+    MemoryBus bus_;
+    CacheHierarchy caches_;
+    PageTable pt_;
+    CoherenceBus coherence_;
+    std::vector<Tlb> tlbs_;
+    std::vector<Cycles> clocks_;
+};
+
+} // namespace ssp
+
+#endif // SSP_CORE_MACHINE_HH

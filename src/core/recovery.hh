@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Post-recovery invariant checking (paper section 4.4).
+ *
+ * After SspSystem::recover() the system must satisfy a set of structural
+ * invariants; verifyRecoveredState() checks them all and reports every
+ * violation.  The crash-injection tests call it after each simulated
+ * power failure.
+ */
+
+#ifndef SSP_CORE_RECOVERY_HH
+#define SSP_CORE_RECOVERY_HH
+
+#include <string>
+#include <vector>
+
+namespace ssp
+{
+
+class SspSystem;
+
+/** Outcome of a recovery verification pass. */
+struct RecoveryReport
+{
+    bool ok = true;
+    std::vector<std::string> violations;
+};
+
+/**
+ * Check the post-recovery invariants:
+ *  - every valid SSP-cache entry has current == committed;
+ *  - all reference counts are zero;
+ *  - the page table maps every active page to its PPN0;
+ *  - no shadow page is owned by two slots or by a slot and the pool;
+ *  - the journal is empty (recovery checkpoints).
+ */
+RecoveryReport verifyRecoveredState(SspSystem &sys);
+
+} // namespace ssp
+
+#endif // SSP_CORE_RECOVERY_HH

@@ -1,0 +1,49 @@
+#include "core/write_set.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+WriteSetBuffer::WriteSetBuffer(unsigned capacity) : capacity_(capacity)
+{
+    ssp_assert(capacity > 0);
+    entries_.reserve(capacity);
+}
+
+WriteSetEntry *
+WriteSetBuffer::find(Vpn vpn)
+{
+    for (auto &e : entries_) {
+        if (e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+WriteSetEntry *
+WriteSetBuffer::insert(Vpn vpn, SlotId slot)
+{
+    ssp_assert(find(vpn) == nullptr, "duplicate write-set entry");
+    if (entries_.size() >= capacity_)
+        return nullptr; // transaction overflow -> fall-back path
+    entries_.push_back(WriteSetEntry{vpn, slot, Bitmap64{}});
+    return &entries_.back();
+}
+
+unsigned
+WriteSetBuffer::totalLines() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += e.updated.popcount();
+    return n;
+}
+
+void
+WriteSetBuffer::clear()
+{
+    entries_.clear();
+}
+
+} // namespace ssp

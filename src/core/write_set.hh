@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The write-set buffer (paper section 4.2).
+ *
+ * Storing the updated bitmap in the TLB would lose the write set when a
+ * burst of non-transactional accesses evicts an in-transaction entry, so
+ * SSP keeps the updated bitmaps in a small dedicated buffer: one entry
+ * per page written by the ongoing transaction, each a 36-bit tag plus a
+ * 64-bit bitmap (section 4.3 costs it at 800 bytes for 64 entries).
+ */
+
+#ifndef SSP_CORE_WRITE_SET_HH
+#define SSP_CORE_WRITE_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap64.hh"
+#include "common/types.hh"
+
+namespace ssp
+{
+
+/** One write-set buffer entry: a page touched by the ongoing tx. */
+struct WriteSetEntry
+{
+    Vpn vpn = 0;
+    SlotId slot = kInvalidSlot;
+    Bitmap64 updated;
+};
+
+/** Bounded per-core write-set buffer. */
+class WriteSetBuffer
+{
+  public:
+    explicit WriteSetBuffer(unsigned capacity);
+
+    /** Find the entry for @p vpn; nullptr when the page is untouched. */
+    WriteSetEntry *find(Vpn vpn);
+
+    /**
+     * Add an entry for @p vpn.
+     * @throws TxOverflow (via the caller) — returns nullptr when full;
+     *         the engine translates that into the fall-back path.
+     */
+    WriteSetEntry *insert(Vpn vpn, SlotId slot);
+
+    /** Entries of the ongoing transaction. */
+    const std::vector<WriteSetEntry> &entries() const { return entries_; }
+
+    /** Total lines marked updated across all entries. */
+    unsigned totalLines() const;
+
+    bool empty() const { return entries_.empty(); }
+    unsigned size() const { return static_cast<unsigned>(entries_.size()); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Commit/abort: forget everything. */
+    void clear();
+
+  private:
+    unsigned capacity_;
+    std::vector<WriteSetEntry> entries_;
+};
+
+} // namespace ssp
+
+#endif // SSP_CORE_WRITE_SET_HH

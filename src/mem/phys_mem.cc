@@ -1,0 +1,122 @@
+#include "mem/phys_mem.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+PhysMem::PhysMem(std::uint64_t nvram_pages, std::uint64_t dram_pages)
+    : nvramPages_(nvram_pages), dramPages_(dram_pages)
+{
+    ssp_assert(nvram_pages > 0);
+}
+
+std::uint8_t *
+PhysMem::pageFor(Addr addr, bool create)
+{
+    Ppn ppn = pageOf(addr);
+    ssp_assert(ppn < totalPages(), "paddr %llx out of range",
+               static_cast<unsigned long long>(addr));
+    auto it = pages_.find(ppn);
+    if (it != pages_.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto page = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+    auto *raw = page.get();
+    pages_.emplace(ppn, std::move(page));
+    return raw;
+}
+
+const std::uint8_t *
+PhysMem::pageForRead(Addr addr) const
+{
+    Ppn ppn = pageOf(addr);
+    ssp_assert(ppn < totalPages(), "paddr %llx out of range",
+               static_cast<unsigned long long>(addr));
+    auto it = pages_.find(ppn);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void
+PhysMem::read(Addr addr, void *buf, std::uint64_t size) const
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (size > 0) {
+        std::uint64_t in_page = std::min<std::uint64_t>(
+            size, kPageSize - pageOffset(addr));
+        const std::uint8_t *page = pageForRead(addr);
+        if (page == nullptr)
+            std::memset(out, 0, in_page);
+        else
+            std::memcpy(out, page + pageOffset(addr), in_page);
+        addr += in_page;
+        out += in_page;
+        size -= in_page;
+    }
+}
+
+void
+PhysMem::write(Addr addr, const void *buf, std::uint64_t size)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (size > 0) {
+        std::uint64_t in_page = std::min<std::uint64_t>(
+            size, kPageSize - pageOffset(addr));
+        std::uint8_t *page = pageFor(addr, true);
+        std::memcpy(page + pageOffset(addr), in, in_page);
+        addr += in_page;
+        in += in_page;
+        size -= in_page;
+    }
+}
+
+void
+PhysMem::copyLine(Addr dst, Addr src)
+{
+    std::uint8_t tmp[kLineSize];
+    read(src, tmp, kLineSize);
+    write(dst, tmp, kLineSize);
+}
+
+std::uint64_t
+PhysMem::read64(Addr addr) const
+{
+    std::uint64_t v = 0;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+PhysMem::write64(Addr addr, std::uint64_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+void
+PhysMem::powerFail()
+{
+    for (auto it = pages_.begin(); it != pages_.end();) {
+        if (!isNvramPage(it->first))
+            it = pages_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::unordered_map<Ppn, std::vector<std::uint8_t>>
+PhysMem::snapshotNvram() const
+{
+    std::unordered_map<Ppn, std::vector<std::uint8_t>> snap;
+    for (const auto &kv : pages_) {
+        if (!isNvramPage(kv.first))
+            continue;
+        snap.emplace(kv.first,
+                     std::vector<std::uint8_t>(kv.second.get(),
+                                               kv.second.get() + kPageSize));
+    }
+    return snap;
+}
+
+} // namespace ssp

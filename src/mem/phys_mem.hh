@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Functional physical memory backing store.
+ *
+ * One flat physical address space holds both the NVRAM region (pages
+ * [0, nvramPages)) and the DRAM region above it, mirroring the paper's
+ * hybrid memory on a single memory bus.  Pages are allocated lazily so an
+ * 8 GiB simulated machine does not cost 8 GiB of host memory.
+ *
+ * Crash semantics: the NVRAM region supports snapshot() / restore() pairs
+ * used by the crash-injection tests; the DRAM region is simply cleared on
+ * a simulated power failure.
+ */
+
+#ifndef SSP_MEM_PHYS_MEM_HH
+#define SSP_MEM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ssp
+{
+
+/** Lazily-allocated page-granular physical memory image. */
+class PhysMem
+{
+  public:
+    /**
+     * @param nvram_pages Number of physical pages in the NVRAM region.
+     * @param dram_pages Number of physical pages in the DRAM region,
+     *                   starting at physical page nvram_pages.
+     */
+    PhysMem(std::uint64_t nvram_pages, std::uint64_t dram_pages);
+
+    /** Read @p size bytes at physical address @p addr into @p buf. */
+    void read(Addr addr, void *buf, std::uint64_t size) const;
+
+    /** Write @p size bytes from @p buf to physical address @p addr. */
+    void write(Addr addr, const void *buf, std::uint64_t size);
+
+    /** Copy one 64-byte line between physical line addresses. */
+    void copyLine(Addr dst, Addr src);
+
+    /** Read a little-endian uint64 at @p addr. */
+    std::uint64_t read64(Addr addr) const;
+
+    /** Write a little-endian uint64 at @p addr. */
+    void write64(Addr addr, std::uint64_t value);
+
+    /** True if @p ppn lies in the NVRAM region. */
+    bool isNvramPage(Ppn ppn) const { return ppn < nvramPages_; }
+
+    /** True if physical address @p addr lies in the NVRAM region. */
+    bool isNvramAddr(Addr addr) const { return isNvramPage(pageOf(addr)); }
+
+    std::uint64_t nvramPages() const { return nvramPages_; }
+    std::uint64_t dramPages() const { return dramPages_; }
+    std::uint64_t totalPages() const { return nvramPages_ + dramPages_; }
+
+    /**
+     * Simulated power failure: the DRAM region loses its contents.
+     * The NVRAM region is untouched.
+     */
+    void powerFail();
+
+    /** Deep copy of the NVRAM region (for the crash-test oracle). */
+    std::unordered_map<Ppn, std::vector<std::uint8_t>> snapshotNvram() const;
+
+  private:
+    std::uint8_t *pageFor(Addr addr, bool create);
+    const std::uint8_t *pageForRead(Addr addr) const;
+
+    std::uint64_t nvramPages_;
+    std::uint64_t dramPages_;
+    // ppn -> page bytes; absent pages read as zero.
+    std::unordered_map<Ppn, std::unique_ptr<std::uint8_t[]>> pages_;
+};
+
+} // namespace ssp
+
+#endif // SSP_MEM_PHYS_MEM_HH

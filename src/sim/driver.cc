@@ -1,0 +1,74 @@
+#include "sim/driver.hh"
+
+#include "common/logging.hh"
+#include "core/config.hh"
+
+namespace ssp
+{
+
+double
+RunResult::tps() const
+{
+    if (cycles == 0)
+        return 0;
+    const double seconds =
+        static_cast<double>(cycles) / (kCoreGHz * 1e9);
+    return static_cast<double>(committedTxs) / seconds;
+}
+
+double
+RunResult::writesPerTx() const
+{
+    if (committedTxs == 0)
+        return 0;
+    return static_cast<double>(nvramWrites) /
+           static_cast<double>(committedTxs);
+}
+
+RunResult
+runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores)
+{
+    AtomicityBackend &be = *exp.backend;
+    Machine &machine = be.machine();
+    ssp_assert(num_cores >= 1 && num_cores <= machine.cfg().numCores,
+               "run uses more cores than the machine has");
+
+    machine.syncClocks();
+    const Cycles start = machine.maxClock();
+
+    for (std::uint64_t i = 0; i < num_txs; ++i) {
+        const CoreId core = static_cast<CoreId>(i % num_cores);
+        exp.workload->runOp(core);
+        // Bulk-synchronous rounds: re-align core clocks after each
+        // round-robin cycle so shared-resource timing (bus, banks) is
+        // not distorted by simulation-order clock skew.
+        if (num_cores > 1 && core == num_cores - 1)
+            machine.syncClocks();
+    }
+
+    MemoryBus &bus = machine.bus();
+    RunResult res;
+    res.backend = be.name();
+    res.workload = exp.workload->name();
+    res.committedTxs = be.committedTxs() - exp.baseCommits;
+    res.cycles = machine.maxClock() - start;
+    res.nvramWrites = bus.nvramWrites() - exp.baseNvramWrites;
+    res.loggingWrites = be.loggingWrites() - exp.baseLoggingWrites;
+    res.dataWrites = bus.nvramWrites(WriteCategory::Data) +
+                     bus.nvramWrites(WriteCategory::PageCopy) -
+                     exp.baseDataWrites;
+    res.consolidationWrites =
+        bus.nvramWrites(WriteCategory::Consolidation) -
+        exp.baseConsolidationWrites;
+    res.checkpointWrites = bus.nvramWrites(WriteCategory::Checkpoint) -
+                           exp.baseCheckpointWrites;
+    res.journalWrites = res.loggingWrites - res.checkpointWrites;
+
+    const TxCharacterization &charz = be.characterization();
+    res.avgLinesPerTx = charz.linesPerTx.mean();
+    res.avgPagesPerTx = charz.pagesPerTx.mean();
+    res.maxPagesPerTx = charz.pagesPerTx.max();
+    return res;
+}
+
+} // namespace ssp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Runs a workload against a backend for N transactions across C
+ * simulated cores (round-robin interleave at transaction granularity —
+ * locking at the data-structure level serializes conflicting work, as
+ * the paper assumes), and collects the metrics the figures plot.
+ */
+
+#ifndef SSP_SIM_DRIVER_HH
+#define SSP_SIM_DRIVER_HH
+
+#include <cstdint>
+
+#include "sim/system_builder.hh"
+
+namespace ssp
+{
+
+/** Metrics for one measured run (deltas over the post-setup baseline). */
+struct RunResult
+{
+    const char *backend = "";
+    const char *workload = "";
+    std::uint64_t committedTxs = 0;
+    Cycles cycles = 0;
+
+    std::uint64_t nvramWrites = 0;   ///< all categories
+    std::uint64_t loggingWrites = 0; ///< log/journal/checkpoint only
+    std::uint64_t dataWrites = 0;
+    std::uint64_t consolidationWrites = 0;
+    std::uint64_t checkpointWrites = 0;
+    std::uint64_t journalWrites = 0;
+
+    double avgLinesPerTx = 0;
+    double avgPagesPerTx = 0;
+    std::uint64_t maxPagesPerTx = 0;
+
+    /** Transactions per second at the simulated core frequency. */
+    double tps() const;
+
+    /** NVRAM writes per committed transaction. */
+    double writesPerTx() const;
+};
+
+/**
+ * Run @p num_txs operations on @p exp, interleaving @p num_cores cores.
+ * Core clocks are synchronized at the start; wall time is max core time.
+ */
+RunResult runExperiment(Experiment &exp, std::uint64_t num_txs,
+                        unsigned num_cores);
+
+} // namespace ssp
+
+#endif // SSP_SIM_DRIVER_HH

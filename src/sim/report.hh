@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatting for the benches: fixed-width columns, a
+ * header, and normalized-value helpers matching the paper's "normalized
+ * to UNDO-LOG" presentation.
+ */
+
+#ifndef SSP_SIM_REPORT_HH
+#define SSP_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace ssp
+{
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row (must match the header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits decimals. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format "v (normalized to base)" as the ratio v/base. */
+std::string fmtNormalized(double v, double base, int digits = 2);
+
+/** Section banner used by the benches. */
+std::string banner(const std::string &title);
+
+} // namespace ssp
+
+#endif // SSP_SIM_REPORT_HH

@@ -1,0 +1,35 @@
+#include "sim/system_builder.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+Experiment
+buildExperiment(BackendKind backend_kind, WorkloadKind workload_kind,
+                const SspConfig &cfg, const WorkloadScale &scale)
+{
+    Experiment exp;
+    exp.backend = makeBackend(backend_kind, cfg);
+    // Workloads allocate from the start of the persistent heap.
+    exp.alloc = std::make_unique<PersistAlloc>(
+        kPageSize, // keep page 0 unused as a null guard
+        cfg.heapPages * kPageSize);
+    exp.workload =
+        makeWorkload(workload_kind, *exp.backend, *exp.alloc, scale);
+    exp.workload->setup();
+
+    MemoryBus &bus = exp.backend->machine().bus();
+    exp.baseCycles = exp.backend->machine().maxClock();
+    exp.baseNvramWrites = bus.nvramWrites();
+    exp.baseLoggingWrites = exp.backend->loggingWrites();
+    exp.baseDataWrites = bus.nvramWrites(WriteCategory::Data) +
+                         bus.nvramWrites(WriteCategory::PageCopy);
+    exp.baseConsolidationWrites =
+        bus.nvramWrites(WriteCategory::Consolidation);
+    exp.baseCheckpointWrites = bus.nvramWrites(WriteCategory::Checkpoint);
+    exp.baseCommits = exp.backend->committedTxs();
+    return exp;
+}
+
+} // namespace ssp

@@ -1,0 +1,35 @@
+#include "vm/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+void
+PageTable::map(Vpn vpn, Ppn ppn)
+{
+    map_[vpn] = ppn;
+}
+
+bool
+PageTable::unmap(Vpn vpn)
+{
+    return map_.erase(vpn) > 0;
+}
+
+bool
+PageTable::isMapped(Vpn vpn) const
+{
+    return map_.contains(vpn);
+}
+
+Ppn
+PageTable::translate(Vpn vpn) const
+{
+    auto it = map_.find(vpn);
+    ssp_assert(it != map_.end(), "translate of unmapped vpn %llx",
+               static_cast<unsigned long long>(vpn));
+    return it->second;
+}
+
+} // namespace ssp

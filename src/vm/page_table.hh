@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Virtual-to-physical mapping table.
+ *
+ * Models the OS page table for the persistent heap.  The table itself is
+ * durably stored (in NVRAM) as in any persistent-memory system; SSP's
+ * page consolidation updates a mapping when it migrates a page's valid
+ * data into what used to be the shadow page (paper section 3.4).  Crash
+ * consistency of those updates comes from the metadata journal: recovery
+ * re-derives the mapping of every *active* page from the SSP cache, so
+ * the page-table update itself does not need to be ordered.
+ */
+
+#ifndef SSP_VM_PAGE_TABLE_HH
+#define SSP_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace ssp
+{
+
+/** VPN -> PPN mapping with page-walk timing. */
+class PageTable
+{
+  public:
+    /**
+     * @param walk_cycles Cost of a page-table walk in core cycles.
+     *        A radix walk is mostly cached; Table 2-class machines see
+     *        on the order of tens of cycles.
+     */
+    explicit PageTable(Cycles walk_cycles) : walkCycles_(walk_cycles) {}
+
+    /** Install or replace a mapping. */
+    void map(Vpn vpn, Ppn ppn);
+
+    /** Remove a mapping; returns true if it existed. */
+    bool unmap(Vpn vpn);
+
+    /** True if @p vpn is mapped. */
+    bool isMapped(Vpn vpn) const;
+
+    /** Translate; fails (panics) on unmapped pages — the simulated
+     *  workloads never touch unmapped persistent memory. */
+    Ppn translate(Vpn vpn) const;
+
+    /** Timed page walk. @return completion time. */
+    Cycles
+    walk(Cycles now) const
+    {
+        return now + walkCycles_;
+    }
+
+    std::uint64_t size() const { return map_.size(); }
+
+    /** The table is persistent: it survives powerFail() untouched. */
+    const std::unordered_map<Vpn, Ppn> &entries() const { return map_; }
+
+  private:
+    Cycles walkCycles_;
+    std::unordered_map<Vpn, Ppn> map_;
+};
+
+} // namespace ssp
+
+#endif // SSP_VM_PAGE_TABLE_HH

@@ -1,0 +1,82 @@
+#include "vm/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+Tlb::Tlb(unsigned num_entries) : capacity_(num_entries)
+{
+    ssp_assert(num_entries > 0);
+    entries_.resize(num_entries);
+}
+
+TlbEntry *
+Tlb::lookup(Vpn vpn)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.vpn == vpn) {
+            entry.lru = ++lruClock_;
+            ++hits_;
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+std::optional<TlbEntry>
+Tlb::insert(const TlbEntry &entry)
+{
+    ssp_assert(entry.valid, "inserting invalid TLB entry");
+    // Reuse an invalid slot if one exists.
+    TlbEntry *victim = nullptr;
+    for (auto &slot : entries_) {
+        if (!slot.valid) {
+            victim = &slot;
+            break;
+        }
+        if (victim == nullptr || slot.lru < victim->lru)
+            victim = &slot;
+    }
+    std::optional<TlbEntry> displaced;
+    if (victim->valid) {
+        ++evictions_;
+        displaced = *victim;
+    }
+    *victim = entry;
+    victim->lru = ++lruClock_;
+    return displaced;
+}
+
+std::optional<TlbEntry>
+Tlb::evict(Vpn vpn)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.vpn == vpn) {
+            TlbEntry out = entry;
+            entry.valid = false;
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<TlbEntry>
+Tlb::validEntries() const
+{
+    std::vector<TlbEntry> out;
+    for (const auto &entry : entries_) {
+        if (entry.valid)
+            out.push_back(entry);
+    }
+    return out;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace ssp

@@ -1,0 +1,49 @@
+#include "workloads/persist_alloc.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+PersistAlloc::PersistAlloc(Addr base, Addr end)
+    : base_(base), end_(end), cursor_(base)
+{
+    ssp_assert(base < end);
+}
+
+Addr
+PersistAlloc::allocate(std::uint64_t size, std::uint64_t align)
+{
+    ssp_assert(size > 0);
+    ssp_assert((align & (align - 1)) == 0, "alignment must be a power of 2");
+
+    auto &list = freeLists_[size];
+    if (!list.empty()) {
+        Addr addr = list.back();
+        list.pop_back();
+        return addr;
+    }
+
+    Addr addr = (cursor_ + align - 1) & ~(align - 1);
+    // Keep sub-line objects within one line and sub-page objects within
+    // one page.
+    if (size <= kLineSize && lineOf(addr) != lineOf(addr + size - 1))
+        addr = lineBase(addr) + kLineSize;
+    else if (size <= kPageSize && pageOf(addr) != pageOf(addr + size - 1))
+        addr = pageBase(pageOf(addr) + 1);
+
+    if (addr + size > end_) {
+        ssp_fatal("persistent heap exhausted (%llu bytes used)",
+                  static_cast<unsigned long long>(bytesUsed()));
+    }
+    cursor_ = addr + size;
+    return addr;
+}
+
+void
+PersistAlloc::free(Addr addr, std::uint64_t size)
+{
+    freeLists_[size].push_back(addr);
+}
+
+} // namespace ssp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Persistent-heap allocator for the workloads.
+ *
+ * A bump allocator with size-class free lists over the persistent heap
+ * region.  Allocation metadata is kept volatile: the paper's workloads
+ * (like the WHISPER suite they derive from) persist object *contents*
+ * through the failure-atomicity mechanism under test, while allocator
+ * state is rebuilt on restart; the crash tests therefore verify data
+ * content, not allocator bookkeeping.
+ */
+
+#ifndef SSP_WORKLOADS_PERSIST_ALLOC_HH
+#define SSP_WORKLOADS_PERSIST_ALLOC_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ssp
+{
+
+/** Bump allocator with per-size free lists. */
+class PersistAlloc
+{
+  public:
+    /** Manage [base, end) of the persistent virtual address space. */
+    PersistAlloc(Addr base, Addr end);
+
+    /**
+     * Allocate @p size bytes aligned to @p align (power of two).
+     * Allocations never straddle a cache line unless larger than one,
+     * and never straddle a page unless larger than one — keeping object
+     * fields inside single lines like a PM-aware allocator would.
+     */
+    Addr allocate(std::uint64_t size, std::uint64_t align = 8);
+
+    /** Return a block to the size-class free list. */
+    void free(Addr addr, std::uint64_t size);
+
+    /** Bytes handed out (high-water mark accounting). */
+    std::uint64_t bytesUsed() const { return cursor_ - base_; }
+
+    Addr base() const { return base_; }
+    Addr end() const { return end_; }
+
+  private:
+    Addr base_;
+    Addr end_;
+    Addr cursor_;
+    std::map<std::uint64_t, std::vector<Addr>> freeLists_;
+};
+
+} // namespace ssp
+
+#endif // SSP_WORKLOADS_PERSIST_ALLOC_HH

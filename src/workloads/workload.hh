@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The workload interface the driver and benches run against.
+ *
+ * Each workload wraps a persistent data structure built over an
+ * AtomicityBackend; one operation is one durable transaction (the
+ * paper's microbenchmarks wrap each insert/delete/swap in a transaction,
+ * section 5.1).  Workloads keep a host-side reference model so their
+ * contents can be verified functionally after a run or after a crash.
+ */
+
+#ifndef SSP_WORKLOADS_WORKLOAD_HH
+#define SSP_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "core/backend.hh"
+#include "workloads/persist_alloc.hh"
+#include "workloads/tx_heap.hh"
+
+namespace ssp
+{
+
+/** One benchmark workload bound to a backend. */
+class Workload
+{
+  public:
+    Workload(AtomicityBackend &be, PersistAlloc &alloc)
+        : heap_(be), alloc_(alloc)
+    {
+    }
+    virtual ~Workload() = default;
+
+    /** Workload name as printed in the paper's figures. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Populate the initial state (runs as ordinary transactions on
+     * core 0; the driver resets measurement counters afterwards).
+     */
+    virtual void setup() = 0;
+
+    /** Execute one operation == one durable transaction on @p core. */
+    virtual void runOp(CoreId core) = 0;
+
+    /**
+     * Functional self-check against the reference model (untimed reads).
+     * @return true when the persistent image matches.
+     */
+    virtual bool verify() = 0;
+
+    AtomicityBackend &backend() { return heap_.backend(); }
+
+  protected:
+    TxHeap heap_;
+    PersistAlloc &alloc_;
+};
+
+} // namespace ssp
+
+#endif // SSP_WORKLOADS_WORKLOAD_HH

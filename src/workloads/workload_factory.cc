@@ -1,0 +1,113 @@
+#include "workloads/workload_factory.hh"
+
+#include "common/logging.hh"
+#include "workloads/btree.hh"
+#include "workloads/hashtable.hh"
+#include "workloads/kvstore.hh"
+#include "workloads/rbtree.hh"
+#include "workloads/sps.hh"
+#include "workloads/vacation.hh"
+
+namespace ssp
+{
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::BTreeRand:
+        return "BTree-Rand";
+      case WorkloadKind::RbTreeRand:
+        return "RBTree-Rand";
+      case WorkloadKind::HashRand:
+        return "Hash-Rand";
+      case WorkloadKind::Sps:
+        return "SPS";
+      case WorkloadKind::BTreeZipf:
+        return "BTree-Zipf";
+      case WorkloadKind::RbTreeZipf:
+        return "RBTree-Zipf";
+      case WorkloadKind::HashZipf:
+        return "Hash-Zipf";
+      case WorkloadKind::Memcached:
+        return "Memcached";
+      case WorkloadKind::Vacation:
+        return "Vacation";
+    }
+    return "unknown";
+}
+
+WorkloadKind
+parseWorkloadKind(const std::string &name)
+{
+    const std::vector<WorkloadKind> all = {
+        WorkloadKind::BTreeRand, WorkloadKind::RbTreeRand,
+        WorkloadKind::HashRand,  WorkloadKind::Sps,
+        WorkloadKind::BTreeZipf, WorkloadKind::RbTreeZipf,
+        WorkloadKind::HashZipf,  WorkloadKind::Memcached,
+        WorkloadKind::Vacation};
+    for (WorkloadKind kind : all) {
+        if (name == workloadKindName(kind))
+            return kind;
+    }
+    ssp_fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<WorkloadKind>
+microbenchmarks()
+{
+    return {WorkloadKind::BTreeRand, WorkloadKind::RbTreeRand,
+            WorkloadKind::HashRand,  WorkloadKind::Sps,
+            WorkloadKind::BTreeZipf, WorkloadKind::RbTreeZipf,
+            WorkloadKind::HashZipf};
+}
+
+std::vector<WorkloadKind>
+realWorkloads()
+{
+    return {WorkloadKind::Memcached, WorkloadKind::Vacation};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind, AtomicityBackend &backend,
+             PersistAlloc &alloc, const WorkloadScale &scale)
+{
+    switch (kind) {
+      case WorkloadKind::BTreeRand:
+        return std::make_unique<BTreeWorkload>(
+            backend, alloc, scale.keySpace, KeyDist::Uniform, scale.seed);
+      case WorkloadKind::BTreeZipf:
+        return std::make_unique<BTreeWorkload>(
+            backend, alloc, scale.keySpace, KeyDist::Zipf, scale.seed);
+      case WorkloadKind::RbTreeRand:
+        return std::make_unique<RbTreeWorkload>(
+            backend, alloc, scale.keySpace, KeyDist::Uniform, scale.seed);
+      case WorkloadKind::RbTreeZipf:
+        return std::make_unique<RbTreeWorkload>(
+            backend, alloc, scale.keySpace, KeyDist::Zipf, scale.seed);
+      case WorkloadKind::HashRand:
+        return std::make_unique<HashWorkload>(backend, alloc, 1024,
+                                              scale.keySpace,
+                                              KeyDist::Uniform, scale.seed);
+      case WorkloadKind::HashZipf:
+        return std::make_unique<HashWorkload>(backend, alloc, 1024,
+                                              scale.keySpace, KeyDist::Zipf,
+                                              scale.seed);
+      case WorkloadKind::Sps:
+        return std::make_unique<SpsWorkload>(backend, alloc,
+                                             scale.spsElements, scale.seed);
+      case WorkloadKind::Memcached: {
+        KvStoreParams params;
+        return std::make_unique<KvStoreWorkload>(backend, alloc, params,
+                                                 scale.seed);
+      }
+      case WorkloadKind::Vacation: {
+        VacationParams params;
+        return std::make_unique<VacationWorkload>(backend, alloc, params,
+                                                  scale.seed);
+      }
+    }
+    ssp_panic("unreachable workload kind");
+}
+
+} // namespace ssp

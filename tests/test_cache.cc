@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the cache level and the hierarchy, including the SSP
+ * extensions (TX bit, tag remap) and write-back accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "mem/memory_bus.hh"
+#include "mem/phys_mem.hh"
+
+using namespace ssp;
+
+namespace
+{
+
+CacheParams
+tinyCache(unsigned size_kib, unsigned ways, Cycles lat)
+{
+    return CacheParams{"t", size_kib * 1024ull, ways, lat};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tinyCache(4, 4, 1));
+    auto r1 = c.access(0x1000, false);
+    EXPECT_FALSE(r1.hit);
+    auto r2 = c.access(0x1000, false);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, WriteMarksDirty)
+{
+    Cache c(tinyCache(4, 4, 1));
+    c.access(0x40, true);
+    EXPECT_TRUE(c.isDirty(0x40));
+    c.cleanLine(0x40);
+    EXPECT_FALSE(c.isDirty(0x40));
+    EXPECT_TRUE(c.probe(0x40)); // clwb keeps the line
+}
+
+TEST(Cache, LruEvictsOldestAndReportsDirtyVictim)
+{
+    // 2 sets x 2 ways of 64B lines = 256B cache.
+    Cache c(CacheParams{"t", 256, 2, 1});
+    // Fill set 0 (addresses with even line index).
+    c.access(0 * 64, true);  // set 0
+    c.access(2 * 64, false); // set 0
+    auto r = c.access(4 * 64, false); // set 0 -> evict line 0 (dirty)
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 0u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, LruKeepsRecentlyTouched)
+{
+    Cache c(CacheParams{"t", 256, 2, 1});
+    c.access(0 * 64, false);
+    c.access(2 * 64, false);
+    c.access(0 * 64, false);       // touch line 0
+    c.access(4 * 64, false);       // evicts line 2, not 0
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(2 * 64));
+}
+
+TEST(Cache, RemapMovesStateAndDirtiness)
+{
+    Cache c(tinyCache(4, 4, 1));
+    c.access(0x100, true);
+    c.setTxBit(0x100, true);
+    auto r = c.remap(0x100, 0x2100);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x2100));
+    EXPECT_TRUE(c.isDirty(0x2100));
+    EXPECT_TRUE(c.txBit(0x2100));
+}
+
+TEST(Cache, RemapOfAbsentLineIsNoop)
+{
+    Cache c(tinyCache(4, 4, 1));
+    auto r = c.remap(0x100, 0x200);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(c.probe(0x200));
+}
+
+TEST(Cache, InvalidateDropsWithoutWriteback)
+{
+    Cache c(tinyCache(4, 4, 1));
+    c.access(0x40, true);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.invalidate(0x40));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c(tinyCache(4, 4, 1));
+    for (unsigned i = 0; i < 16; ++i)
+        c.access(i * 64, true);
+    EXPECT_GT(c.validLines(), 0u);
+    c.invalidateAll();
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+        : mem(64, 16),
+          bus(mem, MemTimingParams{"dram", 4, 1024, 100, 100, 0.4},
+              MemTimingParams{"nvram", 4, 1024, 200, 800, 0.4}),
+          hier(2, smallParams(), bus)
+    {
+    }
+
+    static HierarchyParams
+    smallParams()
+    {
+        HierarchyParams p;
+        p.l1 = CacheParams{"l1", 1024, 2, 4};
+        p.l2 = CacheParams{"l2", 4096, 4, 6};
+        p.l3 = CacheParams{"l3", 16384, 4, 27};
+        return p;
+    }
+
+    PhysMem mem;
+    MemoryBus bus;
+    CacheHierarchy hier;
+};
+
+TEST_F(HierarchyTest, ColdReadGoesToMemory)
+{
+    const Cycles t = hier.read(0, 0x1000, 0);
+    // L1 + L2 + L3 latencies plus NVRAM read.
+    EXPECT_GE(t, 4u + 6u + 27u + 200u);
+    EXPECT_EQ(bus.nvramReads(), 1u);
+}
+
+TEST_F(HierarchyTest, WarmReadHitsL1)
+{
+    hier.read(0, 0x1000, 0);
+    const Cycles t0 = 1000;
+    const Cycles t = hier.read(0, 0x1000, t0);
+    EXPECT_EQ(t - t0, 4u);
+}
+
+TEST_F(HierarchyTest, FlushWritesBackDirtyLineOnce)
+{
+    hier.write(0, 0x2000, 0);
+    EXPECT_TRUE(hier.isDirty(0, 0x2000));
+    hier.flushLine(0, 0x2000, WriteCategory::Data, 100);
+    EXPECT_FALSE(hier.isDirty(0, 0x2000));
+    EXPECT_EQ(bus.nvramWrites(WriteCategory::Data), 1u);
+    // Second flush: clean line, no extra write.
+    hier.flushLine(0, 0x2000, WriteCategory::Data, 200);
+    EXPECT_EQ(bus.nvramWrites(WriteCategory::Data), 1u);
+}
+
+TEST_F(HierarchyTest, PrivateCachesArePerCore)
+{
+    hier.read(0, 0x3000, 0);
+    EXPECT_TRUE(hier.l1(0).probe(0x3000));
+    EXPECT_FALSE(hier.l1(1).probe(0x3000));
+    // But the shared L3 serves both.
+    EXPECT_TRUE(hier.l3().probe(0x3000));
+}
+
+TEST_F(HierarchyTest, RemapAppliesEverywherePresent)
+{
+    hier.write(0, 0x4000, 0);
+    hier.remapLine(0, 0x4000, 0x5000, 10);
+    EXPECT_FALSE(hier.isCached(0, 0x4000));
+    EXPECT_TRUE(hier.isCached(0, 0x5000));
+    EXPECT_TRUE(hier.isDirty(0, 0x5000));
+}
+
+TEST_F(HierarchyTest, EvictionChainsReachMemory)
+{
+    // Write far more lines than the hierarchy holds; dirty victims must
+    // eventually be written back to NVRAM as Data.
+    for (unsigned i = 0; i < 2048; ++i)
+        hier.write(0, i * kLineSize, i);
+    EXPECT_GT(bus.nvramWrites(WriteCategory::Data), 0u);
+}
+
+TEST_F(HierarchyTest, InvalidateAllDropsEverything)
+{
+    hier.write(0, 0x6000, 0);
+    hier.invalidateAll();
+    EXPECT_FALSE(hier.isCached(0, 0x6000));
+}
+
+} // namespace

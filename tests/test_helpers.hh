@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared test fixtures: a small machine configuration that keeps tests
+ * fast, and helpers for driving transactions by hand.
+ */
+
+#ifndef SSP_TESTS_TEST_HELPERS_HH
+#define SSP_TESTS_TEST_HELPERS_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/config.hh"
+#include "core/ssp_system.hh"
+
+namespace ssp::test
+{
+
+/** A small, fast configuration (tiny heap, small TLB-friendly caches). */
+inline SspConfig
+smallConfig(unsigned cores = 1)
+{
+    SspConfig cfg;
+    cfg.numCores = cores;
+    cfg.heapPages = 512;
+    cfg.shadowPoolPages = 600;
+    cfg.journalPages = 64;
+    cfg.logPages = 512;
+    cfg.dramPages = 64;
+    cfg.checkpointThresholdBytes = 16 * 1024;
+    return cfg;
+}
+
+/** Write a uint64 at a persistent address inside a one-shot tx. */
+inline void
+txWrite64(AtomicityBackend &be, CoreId core, Addr addr, std::uint64_t v)
+{
+    be.begin(core);
+    be.store(core, addr, &v, sizeof(v));
+    be.commit(core);
+}
+
+/** Untimed functional read of a uint64. */
+inline std::uint64_t
+raw64(AtomicityBackend &be, Addr addr)
+{
+    std::uint64_t v = 0;
+    be.loadRaw(addr, &v, sizeof(v));
+    return v;
+}
+
+/** Timed read of a uint64. */
+inline std::uint64_t
+timed64(AtomicityBackend &be, CoreId core, Addr addr)
+{
+    std::uint64_t v = 0;
+    be.load(core, addr, &v, sizeof(v));
+    return v;
+}
+
+} // namespace ssp::test
+
+#endif // SSP_TESTS_TEST_HELPERS_HH

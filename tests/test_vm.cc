@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the page table and the extended TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+using namespace ssp;
+
+namespace
+{
+
+TEST(PageTable, MapTranslateUnmap)
+{
+    PageTable pt(60);
+    pt.map(5, 500);
+    EXPECT_TRUE(pt.isMapped(5));
+    EXPECT_EQ(pt.translate(5), 500u);
+    EXPECT_TRUE(pt.unmap(5));
+    EXPECT_FALSE(pt.isMapped(5));
+    EXPECT_FALSE(pt.unmap(5));
+}
+
+TEST(PageTable, RemapOverwrites)
+{
+    PageTable pt(60);
+    pt.map(7, 70);
+    pt.map(7, 71);
+    EXPECT_EQ(pt.translate(7), 71u);
+    EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(PageTable, WalkCostsConfiguredCycles)
+{
+    PageTable pt(60);
+    EXPECT_EQ(pt.walk(100), 160u);
+}
+
+TEST(PageTable, TranslateUnmappedPanics)
+{
+    PageTable pt(60);
+    EXPECT_THROW(pt.translate(9), std::logic_error);
+}
+
+TlbEntry
+entry(Vpn vpn, Ppn ppn0 = 0, SlotId slot = kInvalidSlot)
+{
+    TlbEntry e;
+    e.valid = true;
+    e.vpn = vpn;
+    e.ppn0 = ppn0;
+    e.slot = slot;
+    return e;
+}
+
+TEST(Tlb, HitAfterInsert)
+{
+    Tlb tlb(4);
+    tlb.insert(entry(3, 30));
+    TlbEntry *hit = tlb.lookup(3);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->ppn0, 30u);
+    EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(Tlb, MissReturnsNull)
+{
+    Tlb tlb(4);
+    EXPECT_EQ(tlb.lookup(9), nullptr);
+}
+
+TEST(Tlb, LruEvictionReturnsVictim)
+{
+    Tlb tlb(2);
+    tlb.insert(entry(1));
+    tlb.insert(entry(2));
+    auto displaced = tlb.insert(entry(3));
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(displaced->vpn, 1u); // LRU
+    EXPECT_EQ(tlb.lookup(1), nullptr);
+    EXPECT_NE(tlb.lookup(2), nullptr);
+}
+
+TEST(Tlb, LookupRefreshesLru)
+{
+    Tlb tlb(2);
+    tlb.insert(entry(1));
+    tlb.insert(entry(2));
+    tlb.lookup(1); // 2 becomes LRU
+    auto displaced = tlb.insert(entry(3));
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(displaced->vpn, 2u);
+}
+
+TEST(Tlb, ExplicitEvict)
+{
+    Tlb tlb(4);
+    tlb.insert(entry(5, 50, 7));
+    auto out = tlb.evict(5);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->slot, 7u);
+    EXPECT_EQ(tlb.lookup(5), nullptr);
+    EXPECT_FALSE(tlb.evict(5).has_value());
+}
+
+TEST(Tlb, CapacityHonored)
+{
+    Tlb tlb(8);
+    for (Vpn v = 0; v < 20; ++v)
+        tlb.insert(entry(v));
+    EXPECT_EQ(tlb.validEntries().size(), 8u);
+    EXPECT_EQ(tlb.evictions(), 12u);
+}
+
+TEST(Tlb, FlushAllEmpties)
+{
+    Tlb tlb(4);
+    tlb.insert(entry(1));
+    tlb.insert(entry(2));
+    tlb.flushAll();
+    EXPECT_TRUE(tlb.validEntries().empty());
+    EXPECT_EQ(tlb.lookup(1), nullptr);
+}
+
+TEST(Tlb, InsertReusesInvalidSlotsFirst)
+{
+    Tlb tlb(2);
+    tlb.insert(entry(1));
+    tlb.insert(entry(2));
+    tlb.evict(1);
+    auto displaced = tlb.insert(entry(3));
+    EXPECT_FALSE(displaced.has_value()); // used the invalidated slot
+    EXPECT_NE(tlb.lookup(2), nullptr);
+}
+
+} // namespace
