@@ -16,39 +16,30 @@
 #include "sim/driver.hh"
 #include "sim/report.hh"
 #include "sim/system_builder.hh"
+#include "sweep/sweep_grid.hh"
 
 namespace ssp::bench
 {
 
 /** Transactions measured per cell (after the setup/prefill phase). */
-inline constexpr std::uint64_t kMeasuredTxs = 4000;
+inline constexpr std::uint64_t kMeasuredTxs = sweep::kDefaultTxs;
 
-/** The Table 2 machine, scaled where it only affects memory footprint. */
+/**
+ * The Table 2 machine, scaled where it only affects memory footprint.
+ * The definition lives with the sweep grids (src/sweep/sweep_grid.hh)
+ * so the figure benches and the sweep CLI run identical machines.
+ */
 inline SspConfig
 paperConfig(unsigned cores = 1)
 {
-    SspConfig cfg;
-    cfg.numCores = cores;
-    cfg.heapPages = 1 << 15; // 128 MiB persistent heap
-    cfg.logPages = 8192;
-    // Paper section 5.1: 0.3% of the 12 MiB L3 caches about 1K SSP
-    // cache entries.
-    cfg.sspCacheSlots = 1024;
-    cfg.shadowPoolPages = cfg.sspCacheSlots + 1024;
-    return cfg;
+    return sweep::paperConfig(cores);
 }
 
 /** The workload scale used by all benches. */
 inline WorkloadScale
 paperScale()
 {
-    WorkloadScale scale;
-    // Deep enough trees that per-transaction write sets approach the
-    // paper's Table 3 characterization.
-    scale.keySpace = 32768;
-    scale.spsElements = 1 << 16;
-    scale.seed = 42;
-    return scale;
+    return sweep::paperScale();
 }
 
 /** Build + run one (backend, workload) cell. */

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+#
+# Full local CI pipeline: configure, build, run the test suite, then
+# prove the sweep/JSON pipeline end to end with one smoke cell.
+#
+# Usage: scripts/check.sh [build-dir]  (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure =="
+cmake -B "$build_dir" -S "$repo_root"
+
+echo "== build (-j$jobs) =="
+cmake --build "$build_dir" -j "$jobs"
+
+echo "== ctest =="
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo "== smoke sweep =="
+"$build_dir/sweep_main" --figure smoke --jobs 2 \
+    --json "$repo_root/BENCH_smoke.json"
+
+echo "OK"

@@ -71,6 +71,15 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 }
 
 void
+assertFailImpl(const char *file, int line, const char *cond)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed (%s:%d)\n", cond,
+                 file, line);
+    std::fflush(stderr);
+    throw std::logic_error(std::string("assertion failed: ") + cond);
+}
+
+void
 assertFailImpl(const char *file, int line, const char *cond, const char *fmt,
                ...)
 {

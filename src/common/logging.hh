@@ -20,6 +20,9 @@ namespace ssp
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond);
+
 [[noreturn]] void assertFailImpl(const char *file, int line, const char *cond,
                                  const char *fmt, ...)
     __attribute__((format(printf, 4, 5)));
@@ -43,12 +46,16 @@ bool verbose();
  * Assert an internal invariant; compiled into all build types.
  * The optional message must start with a string literal:
  *   ssp_assert(x < n, "x=%u out of range", x);
+ *
+ * The no-message form dispatches (via __VA_OPT__) to a message-less
+ * overload so no zero-length format string is ever materialized —
+ * keeping -Wformat-zero-length quiet under -Werror.
  */
 #define ssp_assert(cond, ...)                                                \
     do {                                                                     \
         if (!(cond)) {                                                       \
-            ::ssp::assertFailImpl(__FILE__, __LINE__, #cond,                 \
-                                  "" __VA_ARGS__);                           \
+            ::ssp::assertFailImpl(__FILE__, __LINE__,                        \
+                                  #cond __VA_OPT__(, ) __VA_ARGS__);         \
         }                                                                    \
     } while (0)
 

@@ -14,6 +14,15 @@
 #include <cstdint>
 #include <cstddef>
 
+// The tree leans on C++20 throughout (defaulted operator== as in
+// common/bitmap64.hh, __VA_OPT__ in common/logging.hh, ...).  Fail fast
+// with one clear diagnostic instead of hundreds of cascading errors.
+#if !defined(_MSVC_LANG) && defined(__cplusplus) && __cplusplus < 202002L
+#error "SSP requires C++20: compile with -std=c++20 or newer"
+#elif defined(_MSVC_LANG) && _MSVC_LANG < 202002L
+#error "SSP requires C++20: compile with /std:c++20 or newer"
+#endif
+
 namespace ssp
 {
 

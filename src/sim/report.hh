@@ -1,14 +1,17 @@
 /**
  * @file
- * Plain-text table formatting for the benches: fixed-width columns, a
- * header, and normalized-value helpers matching the paper's "normalized
- * to UNDO-LOG" presentation.
+ * Report output for the benches: plain-text tables (fixed-width columns,
+ * a header, and normalized-value helpers matching the paper's
+ * "normalized to UNDO-LOG" presentation) and a small JSON value type
+ * used to emit/parse the machine-readable BENCH_*.json sweep reports.
  */
 
 #ifndef SSP_SIM_REPORT_HH
 #define SSP_SIM_REPORT_HH
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ssp
@@ -39,6 +42,83 @@ std::string fmtNormalized(double v, double base, int digits = 2);
 
 /** Section banner used by the benches. */
 std::string banner(const std::string &title);
+
+/**
+ * A minimal JSON document: null / bool / number / string / array /
+ * object, with insertion-ordered object keys so emitted reports are
+ * byte-stable.  Numbers render with the shortest decimal form that
+ * round-trips through a double, so dump() -> parse() -> dump() is the
+ * identity — the property the sweep determinism tests rely on.
+ *
+ * Malformed input to parse() and type-mismatched accessors raise
+ * ssp_fatal (a thrown std::runtime_error).
+ */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** Default-constructs null. */
+    Json() = default;
+
+    static Json boolean(bool v);
+    static Json number(double v);
+    static Json number(std::uint64_t v);
+    static Json str(std::string v);
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** @{ Typed accessors; fatal when the kind does not match. */
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** Array: append an element. @pre array. */
+    void push(Json v);
+
+    /** Number of array elements or object members. */
+    std::size_t size() const;
+
+    /** Array element access. @pre array and @p i in range. */
+    const Json &at(std::size_t i) const;
+
+    /** Object: set (insert or overwrite) a member. @pre object. */
+    void set(const std::string &key, Json v);
+
+    /** Object: true if the member exists. @pre object. */
+    bool has(const std::string &key) const;
+
+    /** Object member access; fatal when missing. @pre object. */
+    const Json &operator[](const std::string &key) const;
+
+    /** Object members in insertion order. @pre object. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /**
+     * Serialize. @p indent 0 emits one compact line; > 0 pretty-prints
+     * with that many spaces per nesting level.
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Parse a complete JSON document; fatal on malformed input. */
+    static Json parse(const std::string &text);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** Render a double with the shortest form that round-trips exactly. */
+std::string jsonNumberToString(double v);
 
 } // namespace ssp
 

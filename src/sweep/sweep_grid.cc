@@ -1,0 +1,254 @@
+#include "sweep/sweep_grid.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ssp::sweep
+{
+
+SspConfig
+paperConfig(unsigned cores)
+{
+    SspConfig cfg;
+    cfg.numCores = cores;
+    cfg.heapPages = 1 << 15; // 128 MiB persistent heap
+    cfg.logPages = 8192;
+    // Paper section 5.1: 0.3% of the 12 MiB L3 caches about 1K SSP
+    // cache entries.
+    cfg.sspCacheSlots = 1024;
+    cfg.shadowPoolPages = cfg.sspCacheSlots + 1024;
+    return cfg;
+}
+
+WorkloadScale
+paperScale()
+{
+    WorkloadScale scale;
+    // Deep enough trees that per-transaction write sets approach the
+    // paper's Table 3 characterization.
+    scale.keySpace = 32768;
+    scale.spsElements = 1 << 16;
+    scale.seed = 42;
+    return scale;
+}
+
+SspConfig
+SweepCell::config() const
+{
+    SspConfig cfg = base;
+    cfg.numCores = cores;
+    cfg.nvramLatencyMultiplier = nvramLatencyMultiplier;
+    if (sspCacheFixedLatency != 0)
+        cfg.sspCacheLatency.fixedLatency = sspCacheFixedLatency;
+    return cfg;
+}
+
+std::string
+SweepCell::label() const
+{
+    std::string out = figure + "/" + backendKindName(backend) + "/" +
+                      workloadKindName(workload) + "/c" +
+                      std::to_string(cores);
+    if (nvramLatencyMultiplier > 0)
+        out += "/nvram-x" + std::to_string(
+                   static_cast<unsigned>(nvramLatencyMultiplier));
+    if (sspCacheFixedLatency != 0)
+        out += "/sspcache-" + std::to_string(sspCacheFixedLatency);
+    return out;
+}
+
+std::uint64_t
+deriveCellSeed(std::uint64_t base_seed, std::uint64_t ordinal)
+{
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (ordinal + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::vector<std::string>
+knownFigures()
+{
+    return {"fig5",   "fig6",    "fig7",  "fig8",
+            "fig9",   "table3",  "table45", "smoke"};
+}
+
+namespace
+{
+
+/** Small machine for the CI smoke grid (mirrors the test config). */
+SspConfig
+smokeConfig()
+{
+    SspConfig cfg;
+    cfg.numCores = 1;
+    cfg.heapPages = 512;
+    cfg.shadowPoolPages = 600;
+    cfg.journalPages = 64;
+    cfg.logPages = 512;
+    cfg.dramPages = 64;
+    cfg.checkpointThresholdBytes = 16 * 1024;
+    return cfg;
+}
+
+/** Workloads in Table 3 (paper) order, for the table3 grid. */
+std::vector<WorkloadKind>
+table3Order()
+{
+    return {WorkloadKind::RbTreeRand, WorkloadKind::BTreeRand,
+            WorkloadKind::HashRand,   WorkloadKind::Sps,
+            WorkloadKind::RbTreeZipf, WorkloadKind::BTreeZipf,
+            WorkloadKind::HashZipf,   WorkloadKind::Memcached,
+            WorkloadKind::Vacation};
+}
+
+/** Generates the unfiltered grid for one figure via emit(). */
+template <typename EmitFn>
+void
+generateCells(const std::string &figure, std::uint64_t txs, EmitFn &&emit)
+{
+    if (figure == "fig5") {
+        // Throughput, (a) one thread and (b) four threads.
+        for (unsigned cores : {1u, 4u}) {
+            for (WorkloadKind w : microbenchmarks()) {
+                for (BackendKind b : paperBackends()) {
+                    SweepCell cell;
+                    cell.backend = b;
+                    cell.workload = w;
+                    cell.cores = cores;
+                    cell.base = paperConfig(cores);
+                    cell.txs = txs;
+                    emit(std::move(cell));
+                }
+            }
+        }
+    } else if (figure == "fig6" || figure == "fig7") {
+        // Logging writes (fig6) / total NVRAM writes + breakdown (fig7):
+        // the same single-threaded microbenchmark runs; the report
+        // carries every write category, so the grids coincide.
+        for (WorkloadKind w : microbenchmarks()) {
+            for (BackendKind b : paperBackends()) {
+                SweepCell cell;
+                cell.backend = b;
+                cell.workload = w;
+                cell.base = paperConfig(1);
+                cell.txs = txs;
+                emit(std::move(cell));
+            }
+        }
+    } else if (figure == "fig8") {
+        // NVRAM-latency sensitivity for RBTree-Rand (8a), BTree-Rand (8b).
+        for (WorkloadKind w :
+             {WorkloadKind::RbTreeRand, WorkloadKind::BTreeRand}) {
+            for (double mult : {1.0, 3.0, 5.0, 7.0, 9.0}) {
+                for (BackendKind b : paperBackends()) {
+                    SweepCell cell;
+                    cell.backend = b;
+                    cell.workload = w;
+                    cell.base = paperConfig(1);
+                    cell.nvramLatencyMultiplier = mult;
+                    cell.txs = txs;
+                    emit(std::move(cell));
+                }
+            }
+        }
+    } else if (figure == "fig9") {
+        // SSP-cache latency sensitivity: one latency-independent
+        // REDO-LOG baseline per workload, then SSP across the sweep.
+        for (WorkloadKind w : microbenchmarks()) {
+            SweepCell cell;
+            cell.backend = BackendKind::RedoLog;
+            cell.workload = w;
+            cell.base = paperConfig(1);
+            cell.txs = txs;
+            emit(std::move(cell));
+        }
+        for (Cycles lat : {20u, 60u, 100u, 140u, 180u}) {
+            for (WorkloadKind w : microbenchmarks()) {
+                SweepCell cell;
+                cell.backend = BackendKind::Ssp;
+                cell.workload = w;
+                cell.base = paperConfig(1);
+                cell.sspCacheFixedLatency = lat;
+                cell.txs = txs;
+                emit(std::move(cell));
+            }
+        }
+    } else if (figure == "table3") {
+        // Write-set characterization: SSP across all nine workloads.
+        for (WorkloadKind w : table3Order()) {
+            SweepCell cell;
+            cell.backend = BackendKind::Ssp;
+            cell.workload = w;
+            cell.base = paperConfig(1);
+            cell.txs = txs;
+            emit(std::move(cell));
+        }
+    } else if (figure == "table45") {
+        // Real workloads, four clients.
+        for (WorkloadKind w : realWorkloads()) {
+            for (BackendKind b : paperBackends()) {
+                SweepCell cell;
+                cell.backend = b;
+                cell.workload = w;
+                cell.cores = 4;
+                cell.base = paperConfig(4);
+                cell.txs = txs;
+                emit(std::move(cell));
+            }
+        }
+    } else if (figure == "smoke") {
+        // One tiny CI cell proving the whole pipeline end to end.
+        SweepCell cell;
+        cell.backend = BackendKind::Ssp;
+        cell.workload = WorkloadKind::Sps;
+        cell.base = smokeConfig();
+        cell.txs = txs;
+        emit(std::move(cell));
+    } else {
+        ssp_fatal("unknown sweep figure '%s'", figure.c_str());
+    }
+}
+
+template <typename T>
+bool
+keepKind(const std::vector<T> &filter, T kind)
+{
+    return filter.empty() ||
+           std::find(filter.begin(), filter.end(), kind) != filter.end();
+}
+
+} // namespace
+
+std::vector<SweepCell>
+buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
+{
+    std::uint64_t txs = opts.txs != 0 ? opts.txs : kDefaultTxs;
+    if (opts.txs == 0 && figure == "smoke")
+        txs = 400;
+
+    std::vector<SweepCell> cells;
+    std::uint64_t ordinal = 0;
+    generateCells(figure, txs, [&](SweepCell cell) {
+        cell.figure = figure;
+        cell.scale = opts.scale;
+        if (figure == "smoke") {
+            // Keep the smoke cell proportionate to its tiny machine.
+            cell.scale.keySpace = std::min<std::uint64_t>(
+                cell.scale.keySpace, 1024);
+            cell.scale.spsElements = std::min<std::uint64_t>(
+                cell.scale.spsElements, 4096);
+        }
+        // Seeds are assigned by unfiltered ordinal so a cell's stream
+        // is stable no matter which backend/workload filters apply.
+        cell.scale.seed = deriveCellSeed(opts.scale.seed, ordinal++);
+        if (keepKind(opts.backends, cell.backend) &&
+            keepKind(opts.workloads, cell.workload)) {
+            cells.push_back(std::move(cell));
+        }
+    });
+    return cells;
+}
+
+} // namespace ssp::sweep

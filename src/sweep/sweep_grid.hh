@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Sweep grids: the declarative description of every figure/table in the
+ * evaluation as a list of independent (backend, workload, configuration)
+ * cells.  A grid is what the parallel sweep runner executes and what
+ * the BENCH_*.json reports serialize.
+ *
+ * Every cell carries its own RNG seed, derived deterministically from
+ * the base seed and the cell's ordinal in the full (unfiltered) grid —
+ * so each cell is one self-contained deterministic stream whose result
+ * depends neither on worker scheduling nor on which other cells were
+ * filtered in or out.
+ */
+
+#ifndef SSP_SWEEP_SWEEP_GRID_HH
+#define SSP_SWEEP_SWEEP_GRID_HH
+
+#include <string>
+#include <vector>
+
+#include "baselines/backend_factory.hh"
+#include "core/config.hh"
+#include "workloads/workload_factory.hh"
+
+namespace ssp::sweep
+{
+
+/** The Table 2 machine used by all figure benches (see bench_common). */
+SspConfig paperConfig(unsigned cores = 1);
+
+/** The workload scale used by all figure benches. */
+WorkloadScale paperScale();
+
+/** Transactions measured per cell unless the grid overrides it. */
+inline constexpr std::uint64_t kDefaultTxs = 4000;
+
+/** One independently runnable point of a figure/table grid. */
+struct SweepCell
+{
+    std::string figure;    ///< grid this cell belongs to ("fig5", ...)
+    BackendKind backend = BackendKind::Ssp;
+    WorkloadKind workload = WorkloadKind::BTreeRand;
+    unsigned cores = 1;    ///< simulated cores driving transactions
+    std::uint64_t txs = kDefaultTxs;
+
+    /** Figure 8 knob; 0 keeps the paper-default NVRAM timing. */
+    double nvramLatencyMultiplier = 0;
+    /** Figure 9 knob; 0 keeps the modeled SSP-cache latency. */
+    Cycles sspCacheFixedLatency = 0;
+
+    /** Per-cell workload scale; seed is the cell's private RNG stream. */
+    WorkloadScale scale{};
+
+    /** Machine configuration the grid bases this cell on. */
+    SspConfig base{};
+
+    /** Materialize the full config (base + the cell's knobs). */
+    SspConfig config() const;
+
+    /** Compact human-readable cell id for logs ("fig5/SSP/SPS/c4"). */
+    std::string label() const;
+};
+
+/** Knobs shared by all grid builders. */
+struct SweepGridOptions
+{
+    /** Designs to include; empty means the figure's default set. */
+    std::vector<BackendKind> backends{};
+    /** Workloads to include; empty means the figure's default set. */
+    std::vector<WorkloadKind> workloads{};
+    /** Transactions per cell; 0 means the figure default. */
+    std::uint64_t txs = 0;
+    /** Base workload scale (per-cell seeds are derived from its seed). */
+    WorkloadScale scale = paperScale();
+};
+
+/** Grid names understood by buildFigureGrid, in presentation order. */
+std::vector<std::string> knownFigures();
+
+/**
+ * Build the cell grid reproducing @p figure ("fig5".."fig9", "table3",
+ * "table45", or the tiny CI "smoke" grid), then apply the option
+ * filters.  Fatal on unknown figure names.
+ */
+std::vector<SweepCell> buildFigureGrid(const std::string &figure,
+                                       const SweepGridOptions &opts = {});
+
+/** splitmix64 finalizer used to derive per-cell seeds. */
+std::uint64_t deriveCellSeed(std::uint64_t base_seed, std::uint64_t ordinal);
+
+} // namespace ssp::sweep
+
+#endif // SSP_SWEEP_SWEEP_GRID_HH

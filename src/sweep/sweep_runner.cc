@@ -1,0 +1,142 @@
+#include "sweep/sweep_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/system_builder.hh"
+
+namespace ssp::sweep
+{
+
+namespace
+{
+
+CellResult
+runOneCell(const SweepCell &cell)
+{
+    CellResult res;
+    res.cell = cell;
+    try {
+        Experiment exp = buildExperiment(cell.backend, cell.workload,
+                                         cell.config(), cell.scale);
+        res.run = runExperiment(exp, cell.txs, cell.cores);
+        res.ok = true;
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    }
+    return res;
+}
+
+} // namespace
+
+std::vector<CellResult>
+runSweep(const std::vector<SweepCell> &cells, unsigned jobs,
+         const CellCallback &on_cell)
+{
+    std::vector<CellResult> results(cells.size());
+    if (cells.empty())
+        return results;
+
+    jobs = std::max(1u, jobs);
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, cells.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex cb_mutex;
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            results[i] = runOneCell(cells[i]);
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (on_cell) {
+                std::lock_guard<std::mutex> lock(cb_mutex);
+                on_cell(results[i], finished, cells.size());
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    return results;
+}
+
+Json
+sweepReport(const std::string &figure,
+            const std::vector<CellResult> &results)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json::str("ssp-bench-report-v1"));
+    doc.set("figure", Json::str(figure));
+    doc.set("cell_count", Json::number(
+        static_cast<std::uint64_t>(results.size())));
+
+    Json cells = Json::array();
+    for (const CellResult &r : results) {
+        Json c = Json::object();
+        c.set("label", Json::str(r.cell.label()));
+        c.set("backend", Json::str(backendKindName(r.cell.backend)));
+        c.set("workload", Json::str(workloadKindName(r.cell.workload)));
+        c.set("cores", Json::number(std::uint64_t{r.cell.cores}));
+        c.set("txs", Json::number(r.cell.txs));
+        c.set("nvram_latency_multiplier",
+              Json::number(r.cell.nvramLatencyMultiplier));
+        c.set("ssp_cache_fixed_latency",
+              Json::number(r.cell.sspCacheFixedLatency));
+        // Seeds span the full 64-bit range, past the 2^53 integers a
+        // JSON number can hold exactly — emit them as hex strings.
+        char seed_hex[32];
+        std::snprintf(seed_hex, sizeof(seed_hex), "0x%016llx",
+                      static_cast<unsigned long long>(r.cell.scale.seed));
+        c.set("seed", Json::str(seed_hex));
+        c.set("ok", Json::boolean(r.ok));
+        if (!r.ok) {
+            c.set("error", Json::str(r.error));
+            cells.push(std::move(c));
+            continue;
+        }
+
+        Json m = Json::object();
+        m.set("committed_txs", Json::number(r.run.committedTxs));
+        m.set("cycles", Json::number(r.run.cycles));
+        m.set("tps", Json::number(r.run.tps()));
+        m.set("writes_per_tx", Json::number(r.run.writesPerTx()));
+        m.set("avg_cycles_per_tx",
+              Json::number(r.run.committedTxs > 0
+                               ? static_cast<double>(r.run.cycles) /
+                                     static_cast<double>(
+                                         r.run.committedTxs)
+                               : 0.0));
+        m.set("nvram_writes", Json::number(r.run.nvramWrites));
+        m.set("logging_writes", Json::number(r.run.loggingWrites));
+        m.set("data_writes", Json::number(r.run.dataWrites));
+        m.set("consolidation_writes",
+              Json::number(r.run.consolidationWrites));
+        m.set("checkpoint_writes", Json::number(r.run.checkpointWrites));
+        m.set("journal_writes", Json::number(r.run.journalWrites));
+        m.set("avg_lines_per_tx", Json::number(r.run.avgLinesPerTx));
+        m.set("avg_pages_per_tx", Json::number(r.run.avgPagesPerTx));
+        m.set("max_pages_per_tx", Json::number(r.run.maxPagesPerTx));
+        c.set("metrics", std::move(m));
+        cells.push(std::move(c));
+    }
+    doc.set("cells", std::move(cells));
+    return doc;
+}
+
+} // namespace ssp::sweep

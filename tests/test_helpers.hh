@@ -2,6 +2,15 @@
  * @file
  * Shared test fixtures: a small machine configuration that keeps tests
  * fast, and helpers for driving transactions by hand.
+ *
+ * Include convention: test sources include this header as
+ * "tests/test_helpers.hh", i.e. relative to the repository root.  The
+ * build adds both the repo root and src/ to the include path (see
+ * target_include_directories in CMakeLists.txt), so src-internal
+ * headers are spelled "common/types.hh" while test/bench headers are
+ * spelled "tests/..." / "bench/...".  Do not rely on the compiler's
+ * "relative to the including file" fallback — it breaks once sources
+ * are compiled from a build directory.
  */
 
 #ifndef SSP_TESTS_TEST_HELPERS_HH

@@ -80,8 +80,9 @@ TEST(SspCache, ReferencedDirtyEntriesNotEvicted)
     SspCacheEntry displaced;
     cache.allocateSlot(3, &displaced);
     // Only vpn 2 (consolidated) may have been displaced.
-    if (displaced.valid)
+    if (displaced.valid) {
         EXPECT_EQ(displaced.vpn, 2u);
+    }
     EXPECT_NE(cache.findSlot(1), kInvalidSlot);
 }
 

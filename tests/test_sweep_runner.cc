@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Sweep subsystem tests: grid construction, determinism of the parallel
+ * runner (identical results for any worker count), and JSON round-trip
+ * of the emitted BENCH_*.json report.
+ */
+
+#include <cstdio>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "sweep/sweep_grid.hh"
+#include "sweep/sweep_runner.hh"
+#include "tests/test_helpers.hh"
+
+namespace ssp::sweep::test
+{
+namespace
+{
+
+/** A tiny fig5 grid that keeps the suite fast on one core. */
+SweepGridOptions
+tinyOptions()
+{
+    SweepGridOptions opts;
+    opts.backends = {BackendKind::UndoLog, BackendKind::Ssp};
+    opts.workloads = {WorkloadKind::BTreeRand, WorkloadKind::Sps};
+    opts.txs = 80;
+    opts.scale.keySpace = 256;
+    opts.scale.spsElements = 1024;
+    opts.scale.seed = 7;
+    return opts;
+}
+
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_STREQ(a.backend, b.backend);
+    EXPECT_STREQ(a.workload, b.workload);
+    EXPECT_EQ(a.committedTxs, b.committedTxs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.nvramWrites, b.nvramWrites);
+    EXPECT_EQ(a.loggingWrites, b.loggingWrites);
+    EXPECT_EQ(a.dataWrites, b.dataWrites);
+    EXPECT_EQ(a.consolidationWrites, b.consolidationWrites);
+    EXPECT_EQ(a.checkpointWrites, b.checkpointWrites);
+    EXPECT_EQ(a.journalWrites, b.journalWrites);
+    EXPECT_EQ(a.avgLinesPerTx, b.avgLinesPerTx);
+    EXPECT_EQ(a.avgPagesPerTx, b.avgPagesPerTx);
+    EXPECT_EQ(a.maxPagesPerTx, b.maxPagesPerTx);
+}
+
+TEST(SweepGrid, KnownFiguresBuildNonEmptyGrids)
+{
+    for (const std::string &figure : knownFigures()) {
+        const auto cells = buildFigureGrid(figure);
+        ASSERT_FALSE(cells.empty()) << figure;
+        for (const SweepCell &cell : cells) {
+            EXPECT_EQ(cell.figure, figure);
+            EXPECT_GT(cell.txs, 0u);
+        }
+    }
+    EXPECT_THROW(buildFigureGrid("fig42"), std::runtime_error);
+}
+
+TEST(SweepGrid, FigureShapesMatchTheBenches)
+{
+    // fig5: 2 thread counts x 7 microbenchmarks x 3 designs.
+    EXPECT_EQ(buildFigureGrid("fig5").size(), 2u * 7u * 3u);
+    // fig8: 2 workloads x 5 latency multipliers x 3 designs.
+    EXPECT_EQ(buildFigureGrid("fig8").size(), 2u * 5u * 3u);
+    // fig9: 7 REDO-LOG baselines + 5 latencies x 7 workloads of SSP.
+    EXPECT_EQ(buildFigureGrid("fig9").size(), 7u + 5u * 7u);
+    // table3: SSP across all nine workloads.
+    EXPECT_EQ(buildFigureGrid("table3").size(), 9u);
+    EXPECT_EQ(buildFigureGrid("smoke").size(), 1u);
+}
+
+TEST(SweepGrid, FiltersApply)
+{
+    SweepGridOptions opts;
+    opts.backends = {BackendKind::Ssp};
+    for (const SweepCell &cell : buildFigureGrid("fig5", opts))
+        EXPECT_EQ(cell.backend, BackendKind::Ssp);
+
+    opts.workloads = {WorkloadKind::Sps};
+    for (const SweepCell &cell : buildFigureGrid("fig6", opts)) {
+        EXPECT_EQ(cell.backend, BackendKind::Ssp);
+        EXPECT_EQ(cell.workload, WorkloadKind::Sps);
+    }
+}
+
+TEST(SweepGrid, SeedsAreStableUnderFiltering)
+{
+    // A cell's private RNG stream must not depend on which other cells
+    // were filtered out of the grid.
+    const auto full = buildFigureGrid("fig5");
+    SweepGridOptions opts;
+    opts.backends = {BackendKind::Ssp};
+    const auto filtered = buildFigureGrid("fig5", opts);
+    for (const SweepCell &f : filtered) {
+        bool matched = false;
+        for (const SweepCell &cell : full) {
+            if (cell.backend == f.backend &&
+                cell.workload == f.workload && cell.cores == f.cores) {
+                EXPECT_EQ(cell.scale.seed, f.scale.seed);
+                matched = true;
+            }
+        }
+        EXPECT_TRUE(matched);
+    }
+}
+
+TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial)
+{
+    const auto cells = buildFigureGrid("fig5", tinyOptions());
+    ASSERT_EQ(cells.size(), 2u * 2u * 2u);
+
+    const auto serial = runSweep(cells, 1);
+    const auto parallel = runSweep(cells, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        expectSameRun(serial[i].run, parallel[i].run);
+    }
+
+    // The strongest form of the guarantee: the emitted JSON documents
+    // are byte-identical.
+    EXPECT_EQ(sweepReport("fig5", serial).dump(2),
+              sweepReport("fig5", parallel).dump(2));
+}
+
+TEST(SweepRunner, FailingCellIsCapturedNotFatal)
+{
+    SweepCell cell;
+    cell.figure = "fig5";
+    cell.backend = BackendKind::Ssp;
+    cell.workload = WorkloadKind::Sps;
+    cell.base = ssp::test::smallConfig();
+    cell.txs = 10;
+    // An SPS array far larger than the 2 MiB heap: setup must fail.
+    cell.scale.spsElements = std::uint64_t{1} << 24;
+    const auto results = runSweep({cell}, 2);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_FALSE(results[0].error.empty());
+}
+
+TEST(SweepReport, JsonRoundTripsThroughputWritesAndLatency)
+{
+    const auto cells = buildFigureGrid("fig5", tinyOptions());
+    const auto results = runSweep(cells, 2);
+
+    const Json report = sweepReport("fig5", results);
+    const Json parsed = Json::parse(report.dump(2));
+
+    EXPECT_EQ(parsed["schema"].asString(), "ssp-bench-report-v1");
+    EXPECT_EQ(parsed["figure"].asString(), "fig5");
+    ASSERT_EQ(parsed["cells"].size(), results.size());
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Json &c = parsed["cells"].at(i);
+        const CellResult &r = results[i];
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(c["backend"].asString(),
+                  backendKindName(r.cell.backend));
+        EXPECT_EQ(c["workload"].asString(),
+                  workloadKindName(r.cell.workload));
+        EXPECT_EQ(c["cores"].asUint(), r.cell.cores);
+        char seed_hex[32];
+        std::snprintf(seed_hex, sizeof(seed_hex), "0x%016llx",
+                      static_cast<unsigned long long>(r.cell.scale.seed));
+        EXPECT_EQ(c["seed"].asString(), seed_hex);
+
+        const Json &m = c["metrics"];
+        // Throughput, NVRAM-write and latency fields must round-trip
+        // exactly (shortest-round-trip double formatting).
+        EXPECT_EQ(m["tps"].asDouble(), r.run.tps());
+        EXPECT_EQ(m["committed_txs"].asUint(), r.run.committedTxs);
+        EXPECT_EQ(m["nvram_writes"].asUint(), r.run.nvramWrites);
+        EXPECT_EQ(m["logging_writes"].asUint(), r.run.loggingWrites);
+        EXPECT_EQ(m["cycles"].asUint(), r.run.cycles);
+        EXPECT_EQ(m["avg_cycles_per_tx"].asDouble(),
+                  static_cast<double>(r.run.cycles) /
+                      static_cast<double>(r.run.committedTxs));
+        EXPECT_EQ(m["avg_lines_per_tx"].asDouble(), r.run.avgLinesPerTx);
+    }
+}
+
+TEST(SweepReport, JsonParserHandlesEscapesAndNesting)
+{
+    const Json j = Json::parse(
+        "{\"a\": [1, 2.5, -3e2, true, false, null],"
+        " \"s\": \"line\\nbreak \\\"q\\\" \\u0041\","
+        " \"nested\": {\"empty_arr\": [], \"empty_obj\": {}}}");
+    EXPECT_EQ(j["a"].size(), 6u);
+    EXPECT_EQ(j["a"].at(0).asUint(), 1u);
+    EXPECT_EQ(j["a"].at(1).asDouble(), 2.5);
+    EXPECT_EQ(j["a"].at(2).asDouble(), -300.0);
+    EXPECT_TRUE(j["a"].at(3).asBool());
+    EXPECT_FALSE(j["a"].at(4).asBool());
+    EXPECT_TRUE(j["a"].at(5).isNull());
+    EXPECT_EQ(j["s"].asString(), "line\nbreak \"q\" A");
+    EXPECT_EQ(j["nested"]["empty_arr"].size(), 0u);
+    EXPECT_EQ(j["nested"]["empty_obj"].size(), 0u);
+
+    // dump -> parse -> dump is the identity.
+    EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+    EXPECT_EQ(Json::parse(j.dump(2)).dump(2), j.dump(2));
+
+    EXPECT_THROW(Json::parse("{\"unterminated\": "), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,] trailing"), std::runtime_error);
+    EXPECT_THROW(Json::parse("nope"), std::runtime_error);
+    // strtod-isms that are not JSON must fail as parse errors too.
+    EXPECT_THROW(Json::parse("[1e999]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[inf]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[nan]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[+1]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[0x10]"), std::runtime_error);
+}
+
+} // namespace
+} // namespace ssp::sweep::test

@@ -106,8 +106,9 @@ TEST_F(WorkloadTest, RbTreeInvariantsUnderChurn)
     tree.setup();
     for (unsigned i = 0; i < 1500; ++i) {
         tree.runOp(0);
-        if (i % 300 == 0)
+        if (i % 300 == 0) {
             EXPECT_TRUE(tree.invariantsHold()) << "at op " << i;
+        }
     }
     EXPECT_TRUE(tree.verify());
 }
