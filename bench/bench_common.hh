@@ -55,17 +55,20 @@ runCell(BackendKind backend, WorkloadKind workload, const SspConfig &cfg,
 inline void
 printHeader(const std::string &title, const SspConfig &cfg)
 {
+    const MemSystemParams ms = cfg.memSystem();
     std::printf("%s", banner(title).c_str());
     std::printf("machine: %u core(s), 3.7 GHz | L1 32KiB/L2 256KiB/L3 "
-                "12MiB | DTLB %u | NVRAM read/write %llu/%llu cycles | "
-                "DRAM %llu/%llu cycles\n\n",
-                cfg.numCores, cfg.tlbEntries,
-                static_cast<unsigned long long>(
-                    cfg.effectiveNvram().readLatency),
-                static_cast<unsigned long long>(
-                    cfg.effectiveNvram().writeLatency),
-                static_cast<unsigned long long>(cfg.dram.readLatency),
-                static_cast<unsigned long long>(cfg.dram.writeLatency));
+                "12MiB | DTLB %u | NVRAM (%s) read/write %llu/%llu "
+                "cycles x%u ch | DRAM %llu/%llu cycles x%u ch | %s "
+                "interleave\n\n",
+                cfg.numCores, cfg.tlbEntries, ms.nvram.name.c_str(),
+                static_cast<unsigned long long>(ms.nvram.readLatency),
+                static_cast<unsigned long long>(ms.nvram.writeLatency),
+                ms.nvramChannels,
+                static_cast<unsigned long long>(ms.dram.readLatency),
+                static_cast<unsigned long long>(ms.dram.writeLatency),
+                ms.dramChannels,
+                interleaveGranularityName(ms.interleave));
 }
 
 /** Paper-reported reference line for side-by-side comparison. */

@@ -34,11 +34,16 @@ usage(int exit_code)
         "usage: sweep_main --figure <name> [options]\n"
         "\n"
         "  --figure NAME      grid to run: fig5 fig6 fig7 fig8 fig9\n"
-        "                     table3 table45 smoke (required)\n"
+        "                     table3 table45 chan smoke (required)\n"
         "  --backends LIST    comma-separated subset of ssp,undo,redo,\n"
         "                     shadow (default: the figure's own set)\n"
         "  --workloads LIST   comma-separated subset of Table 3 names\n"
         "                     (e.g. BTree-Rand,SPS; default: all)\n"
+        "  --channels LIST    chan grid: NVRAM channel counts to sweep\n"
+        "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
+        "  --nvram-device D   NVRAM preset for every cell: paper-pcm,\n"
+        "                     stt-mram, flash, dram-only (default:\n"
+        "                     paper-pcm, the Table 2 device)\n"
         "  --jobs N           worker threads (default 1)\n"
         "  --txs N            transactions per cell (default: figure)\n"
         "  --seed N           base RNG seed (default 42)\n"
@@ -94,6 +99,28 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--workloads") {
             for (const std::string &name : splitCommas(next_value(i)))
                 args.grid.workloads.push_back(parseWorkloadKind(name));
+        } else if (arg == "--channels") {
+            for (const std::string &item : splitCommas(next_value(i))) {
+                unsigned long v = 0;
+                try {
+                    std::size_t used = 0;
+                    v = std::stoul(item, &used);
+                    if (used != item.size())
+                        v = 0; // trailing junk ("4x") is invalid too
+                } catch (const std::exception &) {
+                    v = 0;
+                }
+                if (v == 0 || v > 64) {
+                    std::fprintf(stderr,
+                                 "--channels values must be in [1, 64], "
+                                 "got '%s'\n",
+                                 item.c_str());
+                    usage(2);
+                }
+                args.grid.channels.push_back(static_cast<unsigned>(v));
+            }
+        } else if (arg == "--nvram-device") {
+            args.grid.nvramDevice = parseNvramDevice(next_value(i));
         } else if (arg == "--jobs") {
             args.jobs = static_cast<unsigned>(
                 std::stoul(next_value(i)));
@@ -118,6 +145,15 @@ parseArgs(int argc, char **argv)
     }
     if (args.figure.empty()) {
         std::fprintf(stderr, "--figure is required\n");
+        usage(2);
+    }
+    if (!args.grid.channels.empty() && args.figure != "chan") {
+        // Only the chan grid sweeps channel counts; erroring beats
+        // silently emitting 1-channel results labeled as a channel run.
+        std::fprintf(stderr,
+                     "--channels only applies to '--figure chan', not "
+                     "'%s'\n",
+                     args.figure.c_str());
         usage(2);
     }
     if (args.jsonPath.empty())

@@ -47,6 +47,16 @@ using TxId = std::uint64_t;
 /** Slot index inside the SSP cache (the paper's SID). */
 using SlotId = std::uint32_t;
 
+/** Core clock frequency used to convert ns to cycles. */
+inline constexpr double kCoreGHz = 3.7;
+
+/** Convert nanoseconds to core cycles at kCoreGHz. */
+constexpr Cycles
+nsToCycles(double ns)
+{
+    return static_cast<Cycles>(ns * kCoreGHz);
+}
+
 /** An invalid physical page number sentinel. */
 inline constexpr Ppn kInvalidPpn = ~std::uint64_t{0};
 

@@ -14,21 +14,16 @@
 
 #include "cache/hierarchy.hh"
 #include "common/types.hh"
+#include "mem/device_presets.hh"
+#include "mem/mem_system.hh"
 #include "mem/timing_model.hh"
 #include "nvram/ssp_cache.hh"
 
 namespace ssp
 {
 
-/** Core clock frequency used to convert ns to cycles. */
-inline constexpr double kCoreGHz = 3.7;
-
-/** Convert nanoseconds to core cycles at kCoreGHz. */
-constexpr Cycles
-nsToCycles(double ns)
-{
-    return static_cast<Cycles>(ns * kCoreGHz);
-}
+// kCoreGHz / nsToCycles live in common/types.hh so the mem layer's
+// device presets can use them without depending on core/.
 
 /** Everything configurable about the simulated system. */
 struct SspConfig
@@ -43,10 +38,15 @@ struct SspConfig
 
     HierarchyParams caches{};
 
-    MemTimingParams dram{"dram", 64, 1024, nsToCycles(50), nsToCycles(50),
-                         0.4, 0.4};
-    MemTimingParams nvram{"nvram", 32, 2048, nsToCycles(50),
-                          nsToCycles(200), 0.4, 1.0};
+    MemTimingParams dram = dramDevicePreset();
+    MemTimingParams nvram = nvramDevicePreset(NvramDevice::PaperPcm);
+
+    /** Parallel channels per technology; 1 is the paper's channel pair. */
+    unsigned dramChannels = 1;
+    unsigned nvramChannels = 1;
+    /** Unit of the round-robin address interleave across channels. */
+    InterleaveGranularity interleaveGranularity =
+        InterleaveGranularity::Line;
 
     /**
      * Figure 8 sweep: when > 0, NVRAM read and write latency are both
@@ -132,6 +132,26 @@ struct SspConfig
             p.readLatency = lat;
             p.writeLatency = lat;
         }
+        return p;
+    }
+
+    /** Replace the NVRAM timing with a named device preset. */
+    void
+    applyNvramDevice(NvramDevice device)
+    {
+        nvram = nvramDevicePreset(device);
+    }
+
+    /** The full memory-system description the Machine builds from. */
+    MemSystemParams
+    memSystem() const
+    {
+        MemSystemParams p;
+        p.dram = dram;
+        p.nvram = effectiveNvram();
+        p.dramChannels = dramChannels;
+        p.nvramChannels = nvramChannels;
+        p.interleave = interleaveGranularity;
         return p;
     }
 };

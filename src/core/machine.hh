@@ -28,7 +28,7 @@ class Machine
   public:
     explicit Machine(const SspConfig &cfg)
         : cfg_(cfg), mem_(cfg.nvramPages(), cfg.dramPages),
-          bus_(mem_, cfg.dram, cfg.effectiveNvram()),
+          bus_(mem_, cfg.memSystem()),
           caches_(cfg.numCores, cfg.caches, bus_),
           pt_(cfg.pageWalkCycles),
           coherence_(cfg.numCores, cfg.broadcastLatency),

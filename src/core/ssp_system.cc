@@ -14,8 +14,22 @@ SspSystem::SspSystem(const SspConfig &cfg)
     mcp.shadowPoolBase = cfg.shadowPoolBase();
     mcp.shadowPoolPages = cfg.shadowPoolPages;
     mcp.journalBase = cfg.journalBase();
-    mcp.journalBytes = cfg.journalBytes();
     mcp.checkpointThresholdBytes = cfg.checkpointThresholdBytes;
+    // Carve the persistent SSP-cache slot lines off the top of the
+    // journal region so checkpoint writes never alias journal-append
+    // lines on the bank/channel layout.
+    const std::uint64_t pcache_bytes =
+        std::uint64_t{cfg.effectiveSspSlots()} * kLineSize;
+    if (cfg.journalBytes() <= pcache_bytes +
+                                  2 * cfg.checkpointThresholdBytes) {
+        ssp_fatal("journal area (%llu bytes) too small for %u persistent "
+                  "slot lines plus journal headroom; raise journalPages",
+                  static_cast<unsigned long long>(cfg.journalBytes()),
+                  cfg.effectiveSspSlots());
+    }
+    mcp.journalBytes = cfg.journalBytes() - pcache_bytes;
+    mcp.persistentCacheBase = cfg.journalBase() + mcp.journalBytes;
+    mcp.persistentCacheBytes = pcache_bytes;
     mcp.latency = cfg.sspCacheLatency;
     mcp.subPageLines = cfg.subPageLines;
     mcp.lazyConsolidation =

@@ -1,0 +1,79 @@
+#include "mem/device_presets.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+const char *
+nvramDeviceName(NvramDevice device)
+{
+    switch (device) {
+      case NvramDevice::PaperPcm:
+        return "paper-pcm";
+      case NvramDevice::SttMramFast:
+        return "stt-mram";
+      case NvramDevice::FlashSlow:
+        return "flash";
+      case NvramDevice::DramOnly:
+        return "dram-only";
+      default:
+        return "invalid";
+    }
+}
+
+NvramDevice
+parseNvramDevice(std::string_view name)
+{
+    for (NvramDevice d : knownNvramDevices()) {
+        if (name == nvramDeviceName(d))
+            return d;
+    }
+    ssp_fatal("unknown NVRAM device preset '%s' (known: paper-pcm, "
+              "stt-mram, flash, dram-only)",
+              std::string(name).c_str());
+}
+
+std::vector<NvramDevice>
+knownNvramDevices()
+{
+    return {NvramDevice::PaperPcm, NvramDevice::SttMramFast,
+            NvramDevice::FlashSlow, NvramDevice::DramOnly};
+}
+
+MemTimingParams
+dramDevicePreset()
+{
+    // Table 2: 64 banks, 1 KiB row buffers, 50 ns symmetric access,
+    // writes enjoy the same row-buffer discount as reads.
+    return MemTimingParams{"dram", 64, 1024, nsToCycles(50),
+                           nsToCycles(50), 0.4, 0.4};
+}
+
+MemTimingParams
+nvramDevicePreset(NvramDevice device)
+{
+    switch (device) {
+      case NvramDevice::PaperPcm:
+        // Table 2: 50 ns reads, 200 ns writes; cell programming
+        // dominates writes, so the row buffer gives no write discount.
+        return MemTimingParams{"nvram", 32, 2048, nsToCycles(50),
+                               nsToCycles(200), 0.4, 1.0};
+      case NvramDevice::SttMramFast:
+        return MemTimingParams{"nvram-stt", 32, 2048, nsToCycles(50),
+                               nsToCycles(75), 0.4, 1.0};
+      case NvramDevice::FlashSlow:
+        return MemTimingParams{"nvram-flash", 16, 4096, nsToCycles(250),
+                               nsToCycles(2000), 0.4, 1.0};
+      case NvramDevice::DramOnly:
+        return MemTimingParams{"nvram-as-dram", 64, 1024, nsToCycles(50),
+                               nsToCycles(50), 0.4, 0.4};
+      default:
+        ssp_fatal("invalid NVRAM device preset %u",
+                  static_cast<unsigned>(device));
+    }
+}
+
+} // namespace ssp

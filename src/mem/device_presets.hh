@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Named memory-device presets.
+ *
+ * The paper evaluates one operating point (Table 2: DRAM at 50 ns,
+ * PCM-like NVRAM at 50/200 ns read/write).  The presets make that point
+ * one member of a small family of device regimes — the axis the related
+ * microflow/LBM literature sweeps instead of a single configuration —
+ * so benches and sweeps can select a technology by name instead of
+ * spelling out ad-hoc MemTimingParams literals.
+ */
+
+#ifndef SSP_MEM_DEVICE_PRESETS_HH
+#define SSP_MEM_DEVICE_PRESETS_HH
+
+#include <string_view>
+#include <vector>
+
+#include "mem/timing_model.hh"
+
+namespace ssp
+{
+
+/** NVRAM technology presets selectable by name. */
+enum class NvramDevice : unsigned
+{
+    /** The paper's Table 2 device: PCM-like, 50 ns read / 200 ns write,
+     *  no row-buffer discount on writes.  The default everywhere. */
+    PaperPcm = 0,
+    /** STT-MRAM-like: DRAM-class reads, writes only mildly slower. */
+    SttMramFast,
+    /** Fast-flash-like: slow reads, very slow block programming. */
+    FlashSlow,
+    /** Control regime: the NVRAM region timed exactly like DRAM. */
+    DramOnly,
+};
+
+/** CLI/report name of a preset ("paper-pcm", "stt-mram", ...). */
+const char *nvramDeviceName(NvramDevice device);
+
+/** Parse a preset name; fatal (throws via ssp_fatal) on unknown names. */
+NvramDevice parseNvramDevice(std::string_view name);
+
+/** All presets, in declaration order (for --list style output). */
+std::vector<NvramDevice> knownNvramDevices();
+
+/** The Table 2 DRAM channel timing. */
+MemTimingParams dramDevicePreset();
+
+/** Timing of one NVRAM technology preset. */
+MemTimingParams nvramDevicePreset(NvramDevice device);
+
+} // namespace ssp
+
+#endif // SSP_MEM_DEVICE_PRESETS_HH

@@ -1,0 +1,109 @@
+#include "mem/mem_system.hh"
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+const char *
+interleaveGranularityName(InterleaveGranularity granularity)
+{
+    switch (granularity) {
+      case InterleaveGranularity::Line:
+        return "line";
+      case InterleaveGranularity::Page:
+        return "page";
+      default:
+        return "invalid";
+    }
+}
+
+MemChannelGroup::MemChannelGroup(const MemTimingParams &params,
+                                 unsigned channels,
+                                 InterleaveGranularity granularity)
+    : params_(params), granularity_(granularity),
+      granuleBytes_(interleaveGranuleBytes(granularity))
+{
+    ssp_assert(channels > 0, "a channel group needs at least one channel");
+    channels_.reserve(channels);
+    for (unsigned c = 0; c < channels; ++c)
+        channels_.emplace_back(params);
+}
+
+unsigned
+MemChannelGroup::channelOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / granuleBytes_) %
+                                 channels_.size());
+}
+
+Addr
+MemChannelGroup::channelLocalAddr(Addr addr) const
+{
+    // Fold the round-robin channel bits out: granule g of the global
+    // space becomes granule g/N of its channel, preserving the offset
+    // within the granule.  Identity for one channel, so single-channel
+    // timing is bit-identical to the bare MemTimingModel.
+    const std::uint64_t granule = addr / granuleBytes_;
+    return (granule / channels_.size()) * granuleBytes_ +
+           addr % granuleBytes_;
+}
+
+Cycles
+MemChannelGroup::access(Addr addr, bool is_write, Cycles now,
+                        bool background)
+{
+    // Hot path: derive channel and local address from one granule
+    // quotient instead of re-dividing in channelOf/channelLocalAddr.
+    const std::uint64_t granule = addr / granuleBytes_;
+    const std::size_t n = channels_.size();
+    MemTimingModel &ch = channels_[granule % n];
+    const Addr local =
+        (granule / n) * granuleBytes_ + addr % granuleBytes_;
+    return ch.access(local, is_write, now, background);
+}
+
+std::uint64_t
+MemChannelGroup::rowHits() const
+{
+    std::uint64_t n = 0;
+    for (const MemTimingModel &ch : channels_)
+        n += ch.rowHits();
+    return n;
+}
+
+std::uint64_t
+MemChannelGroup::rowMisses() const
+{
+    std::uint64_t n = 0;
+    for (const MemTimingModel &ch : channels_)
+        n += ch.rowMisses();
+    return n;
+}
+
+std::uint64_t
+MemChannelGroup::reads() const
+{
+    std::uint64_t n = 0;
+    for (const MemTimingModel &ch : channels_)
+        n += ch.reads();
+    return n;
+}
+
+std::uint64_t
+MemChannelGroup::writes() const
+{
+    std::uint64_t n = 0;
+    for (const MemTimingModel &ch : channels_)
+        n += ch.writes();
+    return n;
+}
+
+void
+MemChannelGroup::reset()
+{
+    for (MemTimingModel &ch : channels_)
+        ch.reset();
+}
+
+} // namespace ssp

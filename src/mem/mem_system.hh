@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The MemSystem layer: channel-level parallelism for one memory
+ * technology.
+ *
+ * The paper's evaluation runs on a single DRAM/NVRAM channel pair; this
+ * layer generalizes each side of that pair into a MemChannelGroup that
+ * interleaves line addresses across N identically-parameterized channels
+ * (MemTimingModel instances).  Interleaving is line- or page-granular:
+ * consecutive granules rotate round-robin across channels, and each
+ * channel sees a compacted channel-local address space so its bank/row
+ * geometry behaves as if the channel owned a contiguous memory of its
+ * own.  With one channel the group is bit-identical to the bare timing
+ * model — the paper's Figure 5–9 configurations are untouched.
+ */
+
+#ifndef SSP_MEM_MEM_SYSTEM_HH
+#define SSP_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/device_presets.hh"
+#include "mem/timing_model.hh"
+
+namespace ssp
+{
+
+/** Unit of the round-robin address interleave across channels. */
+enum class InterleaveGranularity : unsigned
+{
+    Line = 0, ///< consecutive 64 B lines rotate across channels
+    Page,     ///< consecutive 4 KiB pages rotate across channels
+};
+
+/** Printable name of an interleave granularity ("line", "page"). */
+const char *interleaveGranularityName(InterleaveGranularity granularity);
+
+/** Interleave granule size in bytes. */
+constexpr std::uint64_t
+interleaveGranuleBytes(InterleaveGranularity granularity)
+{
+    return granularity == InterleaveGranularity::Page ? kPageSize
+                                                      : kLineSize;
+}
+
+/**
+ * N parallel channels of one memory technology behind a single access
+ * interface.
+ *
+ * Every channel is an independent MemTimingModel (its own banks, row
+ * buffers and foreground write bus), so requests to different channels
+ * never queue behind each other.  channelOf() picks the channel from
+ * the granule index; channelLocalAddr() folds the channel bits out of
+ * the address so each channel's bank/row mapping operates on its own
+ * dense address space.  Both are the identity for one channel.
+ */
+class MemChannelGroup
+{
+  public:
+    MemChannelGroup(const MemTimingParams &params, unsigned channels,
+                    InterleaveGranularity granularity);
+
+    /**
+     * Issue a line-sized access; routes to the owning channel.  Same
+     * contract as MemTimingModel::access (background traffic occupies
+     * nothing on the critical path).
+     * @return Completion time in core cycles (>= now).
+     */
+    Cycles access(Addr addr, bool is_write, Cycles now,
+                  bool background = false);
+
+    /** Channel owning @p addr under the configured interleave. */
+    unsigned channelOf(Addr addr) const;
+
+    /** @p addr folded into the owning channel's dense address space. */
+    Addr channelLocalAddr(Addr addr) const;
+
+    unsigned channelCount() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+    MemTimingModel &channel(unsigned idx) { return channels_[idx]; }
+    const MemTimingModel &channel(unsigned idx) const
+    {
+        return channels_[idx];
+    }
+
+    const MemTimingParams &params() const { return params_; }
+    InterleaveGranularity granularity() const { return granularity_; }
+
+    // Aggregate traffic stats, summed over channels.
+    std::uint64_t rowHits() const;
+    std::uint64_t rowMisses() const;
+    std::uint64_t reads() const;
+    std::uint64_t writes() const;
+
+    /** Forget all bank state (used across simulated power cycles). */
+    void reset();
+
+  private:
+    MemTimingParams params_;
+    InterleaveGranularity granularity_;
+    std::uint64_t granuleBytes_;
+    std::vector<MemTimingModel> channels_;
+};
+
+/**
+ * Full description of the machine's memory system: one channel group
+ * per technology plus the shared interleave granularity.  SspConfig
+ * produces this via SspConfig::memSystem(); MemoryBus consumes it.
+ */
+struct MemSystemParams
+{
+    MemTimingParams dram{};
+    MemTimingParams nvram{};
+    unsigned dramChannels = 1;
+    unsigned nvramChannels = 1;
+    InterleaveGranularity interleave = InterleaveGranularity::Line;
+};
+
+} // namespace ssp
+
+#endif // SSP_MEM_MEM_SYSTEM_HH

@@ -30,9 +30,17 @@ writeCategoryName(WriteCategory cat)
     }
 }
 
+MemoryBus::MemoryBus(PhysMem &mem, const MemSystemParams &params)
+    : mem_(mem),
+      dram_(params.dram, params.dramChannels, params.interleave),
+      nvram_(params.nvram, params.nvramChannels, params.interleave)
+{
+}
+
 MemoryBus::MemoryBus(PhysMem &mem, const MemTimingParams &dram_params,
                      const MemTimingParams &nvram_params)
-    : mem_(mem), dram_(dram_params), nvram_(nvram_params)
+    : MemoryBus(mem, MemSystemParams{dram_params, nvram_params, 1, 1,
+                                     InterleaveGranularity::Line})
 {
 }
 

@@ -1,12 +1,14 @@
 /**
  * @file
- * Memory bus: routes line-granular requests to the DRAM or NVRAM timing
- * model and accounts NVRAM write traffic by category.
+ * Memory bus: routes line-granular requests to the DRAM or NVRAM channel
+ * group and accounts NVRAM write traffic by category.
  *
  * The write categories are exactly the series the paper's Figure 6 and
  * Figure 7 plot: transactional data writes, log writes (undo/redo),
  * metadata-journal writes, page-consolidation copies, checkpoint writes,
  * and (for the conventional-shadow-paging ablation) whole-page CoW copies.
+ * The accounting is independent of the channel layout — a request is
+ * categorized before the channel group picks the channel that times it.
  */
 
 #ifndef SSP_MEM_MEMORY_BUS_HH
@@ -17,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/mem_system.hh"
 #include "mem/phys_mem.hh"
 #include "mem/timing_model.hh"
 
@@ -41,7 +44,8 @@ enum class WriteCategory : unsigned
 const char *writeCategoryName(WriteCategory cat);
 
 /**
- * The single memory channel pair of the simulated machine.
+ * The memory system of the simulated machine: one channel group per
+ * technology (DRAM, NVRAM), each with N interleaved channels.
  *
  * All timing flows through issueRead()/issueWrite(); the caller decides
  * whether to stall on the returned completion time (critical path) or to
@@ -50,6 +54,9 @@ const char *writeCategoryName(WriteCategory cat);
 class MemoryBus
 {
   public:
+    MemoryBus(PhysMem &mem, const MemSystemParams &params);
+
+    /** Single-channel convenience form (the paper's channel pair). */
     MemoryBus(PhysMem &mem, const MemTimingParams &dram_params,
               const MemTimingParams &nvram_params);
 
@@ -80,8 +87,10 @@ class MemoryBus
     std::uint64_t dramReads() const { return dramReads_; }
     std::uint64_t dramWrites() const { return dramWrites_; }
 
-    MemTimingModel &dramModel() { return dram_; }
-    MemTimingModel &nvramModel() { return nvram_; }
+    MemChannelGroup &dramGroup() { return dram_; }
+    MemChannelGroup &nvramGroup() { return nvram_; }
+    const MemChannelGroup &dramGroup() const { return dram_; }
+    const MemChannelGroup &nvramGroup() const { return nvram_; }
     PhysMem &mem() { return mem_; }
 
     /** Zero all traffic counters (timing state is kept). */
@@ -92,8 +101,8 @@ class MemoryBus
 
   private:
     PhysMem &mem_;
-    MemTimingModel dram_;
-    MemTimingModel nvram_;
+    MemChannelGroup dram_;
+    MemChannelGroup nvram_;
     std::array<std::uint64_t,
                static_cast<unsigned>(WriteCategory::NumCategories)>
         nvramWriteCount_{};

@@ -1,5 +1,6 @@
 #include "nvram/mem_controller.hh"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/logging.hh"
@@ -18,6 +19,11 @@ MemController::MemController(const MemControllerParams &params,
                     params.subPageLines),
       consolidateDoneAt_(params.sspCacheSlots, 0)
 {
+    if (params_.persistentCacheBytes == 0) {
+        params_.persistentCacheBase = params_.journalBase;
+        params_.persistentCacheBytes =
+            std::max<std::uint64_t>(params_.journalBytes, kLineSize);
+    }
 }
 
 MetadataFetchResult
@@ -278,9 +284,17 @@ MemController::checkpoint(Cycles now)
         p.ppn1 = e.ppn1;
         p.committed = e.committed;
         // One persistent-slot line write per captured entry; the
-        // checkpointing thread runs in the background.
-        bus_.issueWrite(params_.journalBase, WriteCategory::Checkpoint,
-                        now, true);
+        // checkpointing thread runs in the background, so this only
+        // bills bandwidth — it occupies no bank, channel, or bus slot.
+        // Each slot still addresses its own line of the persistent-
+        // cache area (rather than one shared line) so the traffic maps
+        // onto the real bank/channel layout if checkpointing is ever
+        // made contending.
+        const Addr slot_line =
+            params_.persistentCacheBase +
+            (static_cast<Addr>(sid) * kLineSize) %
+                params_.persistentCacheBytes;
+        bus_.issueWrite(slot_line, WriteCategory::Checkpoint, now, true);
     }
     journal_.truncate();
     // The checkpoint made every journal record durable, so all

@@ -44,6 +44,15 @@ struct MemControllerParams
     Addr journalBase = 0;
     /** Journal area size in bytes. */
     std::uint64_t journalBytes = 1 << 20;
+    /**
+     * NVRAM area holding the persistent SSP-cache slot lines that
+     * checkpoints write.  Must not overlap the journal proper, or
+     * checkpoint traffic would alias journal-append lines on the
+     * bank/channel layout.  persistentCacheBytes == 0 falls back to
+     * overlaying the journal area (direct-constructed unit tests).
+     */
+    Addr persistentCacheBase = 0;
+    std::uint64_t persistentCacheBytes = 0;
     /** Checkpoint when the journal holds this many bytes. */
     std::uint64_t checkpointThresholdBytes = 256 * 1024;
     /** Latency model of the SSP cache. */

@@ -10,6 +10,7 @@
 #define SSP_SIM_DRIVER_HH
 
 #include <cstdint>
+#include <string>
 
 #include "sim/system_builder.hh"
 
@@ -19,8 +20,11 @@ namespace ssp
 /** Metrics for one measured run (deltas over the post-setup baseline). */
 struct RunResult
 {
-    const char *backend = "";
-    const char *workload = "";
+    /** Owned strings: results outlive the backend/workload objects the
+     *  names came from (e.g. sweep cells whose experiment is torn down
+     *  before the report is emitted). */
+    std::string backend;
+    std::string workload;
     std::uint64_t committedTxs = 0;
     Cycles cycles = 0;
 

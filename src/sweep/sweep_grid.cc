@@ -41,6 +41,10 @@ SweepCell::config() const
     cfg.nvramLatencyMultiplier = nvramLatencyMultiplier;
     if (sspCacheFixedLatency != 0)
         cfg.sspCacheLatency.fixedLatency = sspCacheFixedLatency;
+    if (nvramDevice != NvramDevice::PaperPcm)
+        cfg.applyNvramDevice(nvramDevice);
+    if (nvramChannels != 1)
+        cfg.nvramChannels = nvramChannels;
     return cfg;
 }
 
@@ -55,6 +59,10 @@ SweepCell::label() const
                    static_cast<unsigned>(nvramLatencyMultiplier));
     if (sspCacheFixedLatency != 0)
         out += "/sspcache-" + std::to_string(sspCacheFixedLatency);
+    if (nvramChannels != 1)
+        out += "/ch" + std::to_string(nvramChannels);
+    if (nvramDevice != NvramDevice::PaperPcm)
+        out += std::string("/") + nvramDeviceName(nvramDevice);
     return out;
 }
 
@@ -70,8 +78,8 @@ deriveCellSeed(std::uint64_t base_seed, std::uint64_t ordinal)
 std::vector<std::string>
 knownFigures()
 {
-    return {"fig5",   "fig6",    "fig7",  "fig8",
-            "fig9",   "table3",  "table45", "smoke"};
+    return {"fig5",   "fig6",    "fig7",    "fig8", "fig9",
+            "table3", "table45", "chan",    "smoke"};
 }
 
 namespace
@@ -103,10 +111,18 @@ table3Order()
             WorkloadKind::Vacation};
 }
 
+/** Channel counts the chan grid sweeps by default. */
+std::vector<unsigned>
+defaultChannelList()
+{
+    return {1, 2, 4, 8};
+}
+
 /** Generates the unfiltered grid for one figure via emit(). */
 template <typename EmitFn>
 void
-generateCells(const std::string &figure, std::uint64_t txs, EmitFn &&emit)
+generateCells(const std::string &figure, std::uint64_t txs,
+              const SweepGridOptions &opts, EmitFn &&emit)
 {
     if (figure == "fig5") {
         // Throughput, (a) one thread and (b) four threads.
@@ -198,6 +214,31 @@ generateCells(const std::string &figure, std::uint64_t txs, EmitFn &&emit)
                 emit(std::move(cell));
             }
         }
+    } else if (figure == "chan") {
+        // Channel scaling: every design x microbenchmark across the
+        // NVRAM channel counts.  Page-granular interleaving keeps each
+        // page's row locality inside one channel; the seed ordinal is
+        // pinned per (workload, backend) so every channel count replays
+        // the identical operation stream.
+        const std::vector<unsigned> channel_list =
+            opts.channels.empty() ? defaultChannelList() : opts.channels;
+        for (unsigned channels : channel_list) {
+            std::int64_t seed_ordinal = 0;
+            for (WorkloadKind w : microbenchmarks()) {
+                for (BackendKind b : paperBackends()) {
+                    SweepCell cell;
+                    cell.backend = b;
+                    cell.workload = w;
+                    cell.base = paperConfig(1);
+                    cell.base.interleaveGranularity =
+                        InterleaveGranularity::Page;
+                    cell.nvramChannels = channels;
+                    cell.seedOrdinal = seed_ordinal++;
+                    cell.txs = txs;
+                    emit(std::move(cell));
+                }
+            }
+        }
     } else if (figure == "smoke") {
         // One tiny CI cell proving the whole pipeline end to end.
         SweepCell cell;
@@ -228,11 +269,20 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
     if (opts.txs == 0 && figure == "smoke")
         txs = 400;
 
+    // Only the chan grid sweeps channel counts; failing beats silently
+    // handing back 1-channel cells labeled as a channel experiment.
+    if (!opts.channels.empty() && figure != "chan") {
+        ssp_fatal("the channels option only applies to the 'chan' grid, "
+                  "not '%s'",
+                  figure.c_str());
+    }
+
     std::vector<SweepCell> cells;
     std::uint64_t ordinal = 0;
-    generateCells(figure, txs, [&](SweepCell cell) {
+    generateCells(figure, txs, opts, [&](SweepCell cell) {
         cell.figure = figure;
         cell.scale = opts.scale;
+        cell.nvramDevice = opts.nvramDevice;
         if (figure == "smoke") {
             // Keep the smoke cell proportionate to its tiny machine.
             cell.scale.keySpace = std::min<std::uint64_t>(
@@ -241,8 +291,15 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
                 cell.scale.spsElements, 4096);
         }
         // Seeds are assigned by unfiltered ordinal so a cell's stream
-        // is stable no matter which backend/workload filters apply.
-        cell.scale.seed = deriveCellSeed(opts.scale.seed, ordinal++);
+        // is stable no matter which backend/workload filters apply; a
+        // grid may pin the ordinal instead (chan: identical streams
+        // across channel counts).
+        const std::uint64_t seed_ordinal =
+            cell.seedOrdinal >= 0
+                ? static_cast<std::uint64_t>(cell.seedOrdinal)
+                : ordinal;
+        ++ordinal;
+        cell.scale.seed = deriveCellSeed(opts.scale.seed, seed_ordinal);
         if (keepKind(opts.backends, cell.backend) &&
             keepKind(opts.workloads, cell.workload)) {
             cells.push_back(std::move(cell));

@@ -47,6 +47,19 @@ struct SweepCell
     double nvramLatencyMultiplier = 0;
     /** Figure 9 knob; 0 keeps the modeled SSP-cache latency. */
     Cycles sspCacheFixedLatency = 0;
+    /** chan-grid knob: parallel NVRAM channels (1 = paper machine). */
+    unsigned nvramChannels = 1;
+    /** NVRAM technology preset; PaperPcm is the paper's Table 2 device. */
+    NvramDevice nvramDevice = NvramDevice::PaperPcm;
+
+    /**
+     * Seed-derivation ordinal override; -1 derives from the cell's
+     * position in the unfiltered grid.  The chan grid pins it to the
+     * (workload, backend) position so cells differing only in channel
+     * count replay the identical operation stream — channel scaling is
+     * then measured on the same work, not on reseeded noise.
+     */
+    std::int64_t seedOrdinal = -1;
 
     /** Per-cell workload scale; seed is the cell's private RNG stream. */
     WorkloadScale scale{};
@@ -72,6 +85,12 @@ struct SweepGridOptions
     std::uint64_t txs = 0;
     /** Base workload scale (per-cell seeds are derived from its seed). */
     WorkloadScale scale = paperScale();
+    /** chan grid: NVRAM channel counts to sweep; empty = {1, 2, 4, 8}.
+     *  Unlike the backend/workload filters this changes the grid shape,
+     *  so per-cell seeds follow the requested list. */
+    std::vector<unsigned> channels{};
+    /** NVRAM device preset applied to every cell of the grid. */
+    NvramDevice nvramDevice = NvramDevice::PaperPcm;
 };
 
 /** Grid names understood by buildFigureGrid, in presentation order. */
@@ -79,8 +98,8 @@ std::vector<std::string> knownFigures();
 
 /**
  * Build the cell grid reproducing @p figure ("fig5".."fig9", "table3",
- * "table45", or the tiny CI "smoke" grid), then apply the option
- * filters.  Fatal on unknown figure names.
+ * "table45", the channel-scaling "chan" grid, or the tiny CI "smoke"
+ * grid), then apply the option filters.  Fatal on unknown figure names.
  */
 std::vector<SweepCell> buildFigureGrid(const std::string &figure,
                                        const SweepGridOptions &opts = {});

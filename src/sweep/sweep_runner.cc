@@ -98,6 +98,15 @@ sweepReport(const std::string &figure,
               Json::number(r.cell.nvramLatencyMultiplier));
         c.set("ssp_cache_fixed_latency",
               Json::number(r.cell.sspCacheFixedLatency));
+        // Channel/device coordinates are emitted only where they can
+        // deviate from the paper machine, so the pre-refactor reports
+        // (fig5..fig9, table*, smoke) stay byte-identical.
+        if (r.cell.figure == "chan" || r.cell.nvramChannels != 1)
+            c.set("nvram_channels",
+                  Json::number(std::uint64_t{r.cell.nvramChannels}));
+        if (r.cell.nvramDevice != NvramDevice::PaperPcm)
+            c.set("nvram_device",
+                  Json::str(nvramDeviceName(r.cell.nvramDevice)));
         // Seeds span the full 64-bit range, past the 2^53 integers a
         // JSON number can hold exactly — emit them as hex strings.
         char seed_hex[32];

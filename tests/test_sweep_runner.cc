@@ -36,8 +36,8 @@ tinyOptions()
 void
 expectSameRun(const RunResult &a, const RunResult &b)
 {
-    EXPECT_STREQ(a.backend, b.backend);
-    EXPECT_STREQ(a.workload, b.workload);
+    EXPECT_EQ(a.backend, b.backend);
+    EXPECT_EQ(a.workload, b.workload);
     EXPECT_EQ(a.committedTxs, b.committedTxs);
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.nvramWrites, b.nvramWrites);
@@ -110,6 +110,86 @@ TEST(SweepGrid, SeedsAreStableUnderFiltering)
         }
         EXPECT_TRUE(matched);
     }
+}
+
+TEST(SweepGrid, ChanGridSweepsChannelCounts)
+{
+    // Default: 4 channel counts x 7 microbenchmarks x 3 designs.
+    EXPECT_EQ(buildFigureGrid("chan").size(), 4u * 7u * 3u);
+
+    SweepGridOptions opts;
+    opts.channels = {1, 16};
+    const auto cells = buildFigureGrid("chan", opts);
+    EXPECT_EQ(cells.size(), 2u * 7u * 3u);
+    for (const SweepCell &cell : cells) {
+        EXPECT_TRUE(cell.nvramChannels == 1 || cell.nvramChannels == 16);
+        const SspConfig cfg = cell.config();
+        EXPECT_EQ(cfg.nvramChannels, cell.nvramChannels);
+        EXPECT_EQ(cfg.interleaveGranularity, InterleaveGranularity::Page);
+    }
+}
+
+TEST(SweepGrid, ChanGridSharesSeedsAcrossChannelCounts)
+{
+    // Cells differing only in channel count must replay the identical
+    // operation stream, so channel scaling is measured on the same work.
+    const auto cells = buildFigureGrid("chan");
+    for (const SweepCell &a : cells) {
+        for (const SweepCell &b : cells) {
+            if (a.backend == b.backend && a.workload == b.workload) {
+                EXPECT_EQ(a.scale.seed, b.scale.seed);
+            }
+        }
+    }
+}
+
+TEST(SweepGrid, DevicePresetAppliesToEveryCell)
+{
+    SweepGridOptions opts = tinyOptions();
+    opts.nvramDevice = NvramDevice::SttMramFast;
+    const auto cells = buildFigureGrid("fig5", opts);
+    ASSERT_FALSE(cells.empty());
+    const MemTimingParams preset =
+        nvramDevicePreset(NvramDevice::SttMramFast);
+    for (const SweepCell &cell : cells) {
+        const SspConfig cfg = cell.config();
+        EXPECT_EQ(cfg.nvram.name, preset.name);
+        EXPECT_EQ(cfg.nvram.writeLatency, preset.writeLatency);
+        EXPECT_NE(cell.label().find("stt-mram"), std::string::npos);
+    }
+}
+
+TEST(SweepRunner, ChanGridIsBitIdenticalForAnyJobCount)
+{
+    // The determinism guarantee must hold across the channel dimension:
+    // N-channel results may not depend on sweep worker scheduling.
+    SweepGridOptions opts = tinyOptions();
+    opts.channels = {1, 2, 4};
+    const auto cells = buildFigureGrid("chan", opts);
+    ASSERT_EQ(cells.size(), 3u * 2u * 2u);
+
+    const auto serial = runSweep(cells, 1);
+    const auto parallel = runSweep(cells, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        expectSameRun(serial[i].run, parallel[i].run);
+    }
+    EXPECT_EQ(sweepReport("chan", serial).dump(2),
+              sweepReport("chan", parallel).dump(2));
+}
+
+TEST(SweepReport, ChanCellsCarryChannelCoordinates)
+{
+    SweepGridOptions opts = tinyOptions();
+    opts.channels = {2};
+    const auto cells = buildFigureGrid("chan", opts);
+    const auto results = runSweep(cells, 2);
+    const Json parsed = Json::parse(sweepReport("chan", results).dump(2));
+    ASSERT_EQ(parsed["cells"].size(), results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(parsed["cells"].at(i)["nvram_channels"].asUint(), 2u);
 }
 
 TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial)
