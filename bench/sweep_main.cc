@@ -34,12 +34,14 @@ usage(int exit_code)
         "usage: sweep_main --figure <name> [options]\n"
         "\n"
         "  --figure NAME      grid to run: fig5 fig6 fig7 fig8 fig9\n"
-        "                     table3 table45 chan smoke (required)\n"
+        "                     table3 table45 chan scale smoke (required)\n"
         "  --backends LIST    comma-separated subset of ssp,undo,redo,\n"
         "                     shadow (default: the figure's own set)\n"
         "  --workloads LIST   comma-separated subset of Table 3 names\n"
         "                     (e.g. BTree-Rand,SPS; default: all)\n"
         "  --channels LIST    chan grid: NVRAM channel counts to sweep\n"
+        "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
+        "  --cores LIST       scale grid: core counts to sweep\n"
         "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
         "  --nvram-device D   NVRAM preset for every cell: paper-pcm,\n"
         "                     stt-mram, flash, dram-only (default:\n"
@@ -99,7 +101,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--workloads") {
             for (const std::string &name : splitCommas(next_value(i)))
                 args.grid.workloads.push_back(parseWorkloadKind(name));
-        } else if (arg == "--channels") {
+        } else if (arg == "--channels" || arg == "--cores") {
+            const bool is_channels = (arg == "--channels");
             for (const std::string &item : splitCommas(next_value(i))) {
                 unsigned long v = 0;
                 try {
@@ -112,12 +115,14 @@ parseArgs(int argc, char **argv)
                 }
                 if (v == 0 || v > 64) {
                     std::fprintf(stderr,
-                                 "--channels values must be in [1, 64], "
-                                 "got '%s'\n",
-                                 item.c_str());
+                                 "%s values must be in [1, 64], got "
+                                 "'%s'\n",
+                                 arg.c_str(), item.c_str());
                     usage(2);
                 }
-                args.grid.channels.push_back(static_cast<unsigned>(v));
+                auto &list = is_channels ? args.grid.channels
+                                         : args.grid.coreCounts;
+                list.push_back(static_cast<unsigned>(v));
             }
         } else if (arg == "--nvram-device") {
             args.grid.nvramDevice = parseNvramDevice(next_value(i));
@@ -152,6 +157,13 @@ parseArgs(int argc, char **argv)
         // silently emitting 1-channel results labeled as a channel run.
         std::fprintf(stderr,
                      "--channels only applies to '--figure chan', not "
+                     "'%s'\n",
+                     args.figure.c_str());
+        usage(2);
+    }
+    if (!args.grid.coreCounts.empty() && args.figure != "scale") {
+        std::fprintf(stderr,
+                     "--cores only applies to '--figure scale', not "
                      "'%s'\n",
                      args.figure.c_str());
         usage(2);

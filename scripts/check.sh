@@ -24,4 +24,12 @@ echo "== smoke sweep =="
 "$build_dir/sweep_main" --figure smoke --jobs 2 \
     --json "$repo_root/BENCH_smoke.json"
 
+echo "== scale sweep (single-core cells) =="
+"$build_dir/sweep_main" --figure scale --cores 1 --jobs 2 --quiet \
+    --json "$build_dir/BENCH_scale_c1.json"
+
+echo "== scale vs smoke timing cross-check =="
+python3 "$repo_root/scripts/diff_scale_smoke.py" \
+    "$repo_root/BENCH_smoke.json" "$build_dir/BENCH_scale_c1.json"
+
 echo "OK"

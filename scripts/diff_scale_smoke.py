@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Cross-check the scale grid against the smoke grid.
+
+The scale grid's (SPS, SSP, 1 core) cell runs the exact smoke-cell
+configuration and RNG stream, so its metrics must be bit-identical to
+BENCH_smoke.json.  Any drift means a change perturbed single-core
+timing — the regression this script exists to catch.
+
+Usage: diff_scale_smoke.py BENCH_smoke.json BENCH_scale.json
+"""
+
+import json
+import sys
+
+
+def find_cell(report, backend, workload, cores):
+    for cell in report["cells"]:
+        if (cell["backend"] == backend and cell["workload"] == workload
+                and cell["cores"] == cores):
+            return cell
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        smoke = json.load(f)
+    with open(sys.argv[2]) as f:
+        scale = json.load(f)
+
+    smoke_cell = find_cell(smoke, "SSP", "SPS", 1)
+    scale_cell = find_cell(scale, "SSP", "SPS", 1)
+    if smoke_cell is None or scale_cell is None:
+        sys.exit("missing the (SSP, SPS, 1 core) cell in one report")
+    for cell, name in ((smoke_cell, sys.argv[1]), (scale_cell, sys.argv[2])):
+        if not cell.get("ok"):
+            sys.exit(f"{name}: cell failed: {cell.get('error')}")
+
+    if smoke_cell["seed"] != scale_cell["seed"]:
+        sys.exit(f"seed mismatch: smoke {smoke_cell['seed']} vs "
+                 f"scale {scale_cell['seed']}")
+
+    mismatches = []
+    for key, want in smoke_cell["metrics"].items():
+        got = scale_cell["metrics"].get(key)
+        if got != want:
+            mismatches.append(f"  {key}: smoke={want} scale={got}")
+    if mismatches:
+        sys.exit("single-core scale cell drifted from the smoke cell:\n" +
+                 "\n".join(mismatches))
+    print("scale (SPS, SSP, 1 core) cell matches BENCH_smoke.json")
+
+
+if __name__ == "__main__":
+    main()

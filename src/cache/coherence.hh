@@ -8,20 +8,26 @@
  * every other core's extended TLB and to the memory controller.  The
  * simulator shares the authoritative current bitmap through the SSP-cache
  * entry, so the functional effect is immediate; this bus models the cost
- * — one broadcast per first-write — and counts the messages.
+ * — one broadcast per first-write, plus the shootdown of peer-cached
+ * copies of the remapped-away line — and counts the messages per core.
+ *
+ * Ordinary MESI-style invalidations ride the same network: a store that
+ * hits a line cached by another core invalidates the peer copies (see
+ * CacheHierarchy::write), costing the sender one bus traversal.
  */
 
 #ifndef SSP_CACHE_COHERENCE_HH
 #define SSP_CACHE_COHERENCE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 
 namespace ssp
 {
 
-/** Broadcast-message cost model and counters. */
+/** Broadcast-message cost model and per-core counters. */
 class CoherenceBus
 {
   public:
@@ -31,18 +37,21 @@ class CoherenceBus
      *        (piggy-backed on invalidations, so this is small).
      */
     CoherenceBus(unsigned num_cores, Cycles broadcast_latency)
-        : numCores_(num_cores), broadcastLatency_(broadcast_latency)
+        : numCores_(num_cores), broadcastLatency_(broadcast_latency),
+          flipsSent_(num_cores, 0), invalidationsSent_(num_cores, 0),
+          messagesReceived_(num_cores, 0)
     {
     }
 
     /**
-     * Broadcast a flip-current-bit message for one cache line.
+     * Broadcast a flip-current-bit message for one sub-page.
      * @return Completion time for the sending core.
      */
     Cycles
-    flipCurrentBit(CoreId /* sender */, Cycles now)
+    flipCurrentBit(CoreId sender, Cycles now)
     {
         ++flipMessages_;
+        ++flipsSent_[sender];
         // With a single core there is nobody to notify; the paper's
         // mechanism piggybacks on invalidations, costing the sender the
         // bus traversal only when other cores exist.
@@ -51,25 +60,78 @@ class CoherenceBus
         return now + broadcastLatency_;
     }
 
-    /** Count an ordinary invalidation (used by the stats only). */
+    /**
+     * An ordinary cross-core invalidation: a store hit a line that one
+     * or more peers had cached.
+     * @return Completion time for the sending core.
+     */
     Cycles
-    invalidate(CoreId /* sender */, Cycles now)
+    invalidate(CoreId sender, Cycles now)
     {
         ++invalidations_;
+        ++invalidationsSent_[sender];
         if (numCores_ <= 1)
             return now;
         return now + broadcastLatency_;
     }
 
+    /**
+     * Account a flip-broadcast shootdown landing at @p receiver: a peer
+     * copy of a remapped-away line was dropped.  The receiver-side
+     * cycle charge is applied by Machine, which owns the core clocks.
+     */
+    void
+    deliverShootdown(CoreId receiver)
+    {
+        ++messagesReceived_[receiver];
+        ++shootdownsDelivered_;
+    }
+
+    /**
+     * Account an ordinary write invalidation landing at @p receiver.
+     * Receivers absorb these in the cache controller; no clock charge.
+     */
+    void
+    deliverInvalidation(CoreId receiver)
+    {
+        ++messagesReceived_[receiver];
+        ++invalidationsDelivered_;
+    }
+
     std::uint64_t flipMessages() const { return flipMessages_; }
     std::uint64_t invalidations() const { return invalidations_; }
+    /** Flip-broadcast shootdowns that found and dropped a peer copy. */
+    std::uint64_t shootdownsDelivered() const { return shootdownsDelivered_; }
+    /** Write invalidations that found and dropped a peer copy. */
+    std::uint64_t
+    invalidationsDelivered() const
+    {
+        return invalidationsDelivered_;
+    }
+    std::uint64_t flipsSent(CoreId core) const { return flipsSent_[core]; }
+    std::uint64_t
+    invalidationsSent(CoreId core) const
+    {
+        return invalidationsSent_[core];
+    }
+    std::uint64_t
+    messagesReceived(CoreId core) const
+    {
+        return messagesReceived_[core];
+    }
     unsigned numCores() const { return numCores_; }
+    Cycles broadcastLatency() const { return broadcastLatency_; }
 
   private:
     unsigned numCores_;
     Cycles broadcastLatency_;
     std::uint64_t flipMessages_ = 0;
     std::uint64_t invalidations_ = 0;
+    std::uint64_t shootdownsDelivered_ = 0;
+    std::uint64_t invalidationsDelivered_ = 0;
+    std::vector<std::uint64_t> flipsSent_;
+    std::vector<std::uint64_t> invalidationsSent_;
+    std::vector<std::uint64_t> messagesReceived_;
 };
 
 } // namespace ssp

@@ -33,8 +33,13 @@ CacheHierarchy::handleVictim(CoreId core, unsigned level,
         handleVictim(core, 2, r3, now);
     } else {
         // L3 victim goes to memory.  Background bandwidth: occupies a
-        // bank but nobody stalls on it.
-        bus_.issueWrite(res.victimAddr, WriteCategory::Data, now, true);
+        // bank but nobody stalls on it.  The victim's TX bit picks the
+        // Figure 6/7 category: a speculative (pre-commit) line is not
+        // committed transactional data — if its transaction aborts the
+        // write was wasted — so it must not inflate the Data series.
+        const WriteCategory cat =
+            res.victimTx ? WriteCategory::Other : WriteCategory::Data;
+        bus_.issueWrite(res.victimAddr, cat, now, true);
     }
 }
 
@@ -77,22 +82,46 @@ CacheHierarchy::write(CoreId core, Addr addr, Cycles now)
     Cycles done = now + l1.latency();
     handleVictim(core, 0, r1, now);
     if (r1.hit)
-        return done;
+        return invalidatePeersOnWrite(core, line, done);
 
     // Write-allocate: fetch through the lower levels.
     auto r2 = l2.access(line, false);
     done += l2.latency();
     handleVictim(core, 1, r2, now);
     if (r2.hit)
-        return done;
+        return invalidatePeersOnWrite(core, line, done);
 
     auto r3 = l3_->access(line, false);
     done += l3_->latency();
     handleVictim(core, 2, r3, now);
     if (r3.hit)
-        return done;
+        return invalidatePeersOnWrite(core, line, done);
 
-    return bus_.issueRead(line, done);
+    return invalidatePeersOnWrite(core, line, bus_.issueRead(line, done));
+}
+
+Cycles
+CacheHierarchy::invalidatePeersOnWrite(CoreId core, Addr line, Cycles done)
+{
+    if (coherence_ == nullptr || numCores() <= 1)
+        return done;
+    bool any = false;
+    for (CoreId c = 0; c < numCores(); ++c) {
+        if (c == core)
+            continue;
+        // Both levels must be probed; peer copies are clean (only the
+        // lock holder dirties a page mid-transaction and commit cleans
+        // its lines), so dropping without write-back loses nothing.
+        const bool in_l1 = l1s_[c]->invalidate(line);
+        const bool in_l2 = l2s_[c]->invalidate(line);
+        if (in_l1 || in_l2) {
+            any = true;
+            coherence_->deliverInvalidation(c);
+        }
+    }
+    if (any)
+        done = coherence_->invalidate(core, done);
+    return done;
 }
 
 Cycles
@@ -132,6 +161,23 @@ CacheHierarchy::invalidateLine(Addr addr)
     l3_->invalidate(line);
 }
 
+std::uint64_t
+CacheHierarchy::invalidateLineRemote(CoreId sender, Addr addr)
+{
+    ssp_assert(numCores() <= 64, "peer masks hold at most 64 cores");
+    const Addr line = lineBase(addr);
+    std::uint64_t peers = 0;
+    for (CoreId c = 0; c < numCores(); ++c) {
+        if (c == sender)
+            continue;
+        const bool in_l1 = l1s_[c]->invalidate(line);
+        const bool in_l2 = l2s_[c]->invalidate(line);
+        if (in_l1 || in_l2)
+            peers |= std::uint64_t{1} << c;
+    }
+    return peers;
+}
+
 void
 CacheHierarchy::remapLine(CoreId core, Addr old_addr, Addr new_addr,
                           Cycles now)
@@ -144,8 +190,10 @@ CacheHierarchy::remapLine(CoreId core, Addr old_addr, Addr new_addr,
     handleVictim(core, 1, r2, now);
     auto r3 = l3_->remap(old_line, new_line);
     handleVictim(core, 2, r3, now);
-    // Copies of the committed line in other cores' private caches remain
-    // valid read-only copies of the committed version; nothing to do.
+    // Copies of the committed line in other cores' private caches are
+    // now tagged with a remapped-away address; the caller shoots them
+    // down via invalidateLineRemote() as part of the flip-current-bit
+    // broadcast.
 }
 
 void

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/coherence.hh"
 #include "common/types.hh"
 #include "mem/memory_bus.hh"
 
@@ -44,6 +45,14 @@ class CacheHierarchy
     CacheHierarchy(unsigned num_cores, const HierarchyParams &params,
                    MemoryBus &bus);
 
+    /**
+     * Attach the coherence bus (done by Machine after construction).
+     * With a bus attached, write() invalidates peer-cached copies and
+     * charges the sender one broadcast when any existed; without one the
+     * hierarchy times every access in isolation (standalone tests).
+     */
+    void attachCoherence(CoherenceBus *bus) { coherence_ = bus; }
+
     /** Timed read of the line containing @p addr. */
     Cycles read(CoreId core, Addr addr, Cycles now);
 
@@ -61,6 +70,21 @@ class CacheHierarchy
 
     /** Drop a line everywhere without write-back (SSP abort path). */
     void invalidateLine(Addr addr);
+
+    /**
+     * Flip-current-bit shootdown: drop the line from every core's
+     * private caches *except* @p sender's.  Used when an SSP CoW remap
+     * moves the committed copy of a line to the "other" physical page —
+     * peer copies tagged with the remapped-away address are stale and
+     * must never be written back to the old location.  Copies are
+     * dropped without write-back: only the lock-holding core can have a
+     * dirty copy of a page inside a transaction, and commit cleans it,
+     * so peer copies are clean by construction.
+     *
+     * @return Bitmask of peer cores that held a copy (bit c = core c);
+     *         the caller charges receiver cost and counts the messages.
+     */
+    std::uint64_t invalidateLineRemote(CoreId sender, Addr addr);
 
     /**
      * SSP first-transactional-write remap: move the cached copy of
@@ -93,8 +117,16 @@ class CacheHierarchy
     void handleVictim(CoreId core, unsigned level,
                       const CacheAccessResult &res, Cycles now);
 
+    /**
+     * MESI-style write invalidation: drop peer copies of @p line and,
+     * when any existed, charge the sender one coherence broadcast on
+     * top of @p done.  No-op without an attached bus or peers.
+     */
+    Cycles invalidatePeersOnWrite(CoreId core, Addr line, Cycles done);
+
     HierarchyParams params_;
     MemoryBus &bus_;
+    CoherenceBus *coherence_ = nullptr;
     std::vector<std::unique_ptr<Cache>> l1s_;
     std::vector<std::unique_ptr<Cache>> l2s_;
     std::unique_ptr<Cache> l3_;

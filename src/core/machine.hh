@@ -34,6 +34,10 @@ class Machine
           coherence_(cfg.numCores, cfg.broadcastLatency),
           clocks_(cfg.numCores, 0)
     {
+        // The hierarchy's write path invalidates peer copies through the
+        // coherence bus (MESI-style); standalone hierarchies time in
+        // isolation.
+        caches_.attachCoherence(&coherence_);
         for (unsigned i = 0; i < cfg.numCores; ++i)
             tlbs_.emplace_back(cfg.tlbEntries);
         // Identity-map the persistent heap up front.  Consolidation may
@@ -71,6 +75,24 @@ class Machine
         Cycles m = maxClock();
         for (auto &c : clocks_)
             c = m;
+    }
+
+    /**
+     * Charge the receiver side of a flip-current-bit shootdown: every
+     * peer in @p peer_mask (bit c = core c, as returned by
+     * CacheHierarchy::invalidateLineRemote) had a stale copy of the
+     * remapped-away line dropped from its private caches and pays one
+     * bus traversal to process the message.
+     */
+    void
+    chargeShootdown(CoreId sender, std::uint64_t peer_mask)
+    {
+        for (unsigned c = 0; c < cfg_.numCores; ++c) {
+            if (c == sender || ((peer_mask >> c) & 1) == 0)
+                continue;
+            clocks_[c] += cfg_.broadcastLatency;
+            coherence_.deliverShootdown(c);
+        }
     }
 
     /** Volatile state lost on power failure (caches, TLBs, DRAM). */

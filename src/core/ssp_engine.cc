@@ -145,6 +145,7 @@ SspEngine::atomicStoreLine(Addr vaddr, const void *buf, std::uint64_t size)
                    "line not in write set but current != committed");
         const Ppn old_ppn = cur ? tr.ppn1 : tr.ppn0;
         const Ppn new_ppn = cur ? tr.ppn0 : tr.ppn1;
+        std::uint64_t peer_mask = 0;
         for (unsigned g = bit * subPageLines_;
              g < (bit + 1) * subPageLines_; ++g) {
             const Addr old_loc = lineAddr(old_ppn, g);
@@ -152,6 +153,12 @@ SspEngine::atomicStoreLine(Addr vaddr, const void *buf, std::uint64_t size)
             now = machine_.caches().read(core_, old_loc, now); // fetch
             machine_.mem().copyLine(new_loc, old_loc); // in-cache CoW
             machine_.caches().remapLine(core_, old_loc, new_loc, now);
+            // Peer copies of the remapped-away line are stale: they tag
+            // a physical location whose committed data just moved.  The
+            // flip broadcast shoots them down so they can never be
+            // written back to — or re-read at — the old PPN.
+            peer_mask |=
+                machine_.caches().invalidateLineRemote(core_, old_loc);
             // The copies must be dirty so commit writes the whole
             // sub-page to its new location.
             machine_.caches().write(core_, new_loc, now);
@@ -159,6 +166,7 @@ SspEngine::atomicStoreLine(Addr vaddr, const void *buf, std::uint64_t size)
         }
         mc_.flipCurrent(tr.slot, bit);
         now = machine_.coherence().flipCurrentBit(core_, now);
+        machine_.chargeShootdown(core_, peer_mask);
         ws->updated.set(bit);
     }
 

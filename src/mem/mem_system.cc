@@ -28,6 +28,7 @@ MemChannelGroup::MemChannelGroup(const MemTimingParams &params,
     channels_.reserve(channels);
     for (unsigned c = 0; c < channels; ++c)
         channels_.emplace_back(params);
+    readBusFreeAt_.assign(channels, 0);
 }
 
 unsigned
@@ -57,10 +58,21 @@ MemChannelGroup::access(Addr addr, bool is_write, Cycles now,
     // quotient instead of re-dividing in channelOf/channelLocalAddr.
     const std::uint64_t granule = addr / granuleBytes_;
     const std::size_t n = channels_.size();
-    MemTimingModel &ch = channels_[granule % n];
+    const std::size_t idx = granule % n;
+    MemTimingModel &ch = channels_[idx];
     const Addr local =
         (granule / n) * granuleBytes_ + addr % granuleBytes_;
-    return ch.access(local, is_write, now, background);
+    if (background || is_write)
+        return ch.access(local, is_write, now, background);
+    // Foreground reads arbitrate the channel's command/data bus: each
+    // occupies one burst slot, so concurrent cores queue on the channel
+    // instead of overlapping for free.  A lone core's reads are
+    // blocking and therefore spaced by at least one device latency —
+    // the bus is always free again by then, keeping single-core timing
+    // bit-identical.
+    const Cycles issue = std::max(now, readBusFreeAt_[idx]);
+    readBusFreeAt_[idx] = issue + kReadBurstCycles;
+    return ch.access(local, false, issue, false);
 }
 
 std::uint64_t
@@ -104,6 +116,7 @@ MemChannelGroup::reset()
 {
     for (MemTimingModel &ch : channels_)
         ch.reset();
+    readBusFreeAt_.assign(channels_.size(), 0);
 }
 
 } // namespace ssp

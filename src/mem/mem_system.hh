@@ -12,6 +12,14 @@
  * geometry behaves as if the channel owned a contiguous memory of its
  * own.  With one channel the group is bit-identical to the bare timing
  * model — the paper's Figure 5–9 configurations are untouched.
+ *
+ * The group also arbitrates each channel's command/data bus for
+ * foreground reads: concurrent cores queue on the channel instead of
+ * timing in isolation.  Foreground writes already serialize on the
+ * per-channel write data bus inside MemTimingModel, and a single core's
+ * reads are blocking (the next read issues only after the previous
+ * completion, and every device read latency exceeds the burst slot), so
+ * single-core timing is unchanged.
  */
 
 #ifndef SSP_MEM_MEM_SYSTEM_HH
@@ -100,10 +108,20 @@ class MemChannelGroup
     void reset();
 
   private:
+    /**
+     * Command/data-bus burst occupancy per foreground read (core
+     * cycles).  Matches MemTimingModel::kWriteBurstCycles and is below
+     * every device's row-hit read latency, so a lone core — whose reads
+     * are strictly ordered — never observes the bus busy.
+     */
+    static constexpr Cycles kReadBurstCycles = 24;
+
     MemTimingParams params_;
     InterleaveGranularity granularity_;
     std::uint64_t granuleBytes_;
     std::vector<MemTimingModel> channels_;
+    /** Per-channel busy-until time of the foreground read bus. */
+    std::vector<Cycles> readBusFreeAt_;
 };
 
 /**

@@ -25,6 +25,22 @@ RunResult::writesPerTx() const
            static_cast<double>(committedTxs);
 }
 
+double
+RunResult::imbalance() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (std::uint64_t busy : coreBusyCycles) {
+        total += busy;
+        peak = std::max(peak, busy);
+    }
+    if (total == 0 || coreBusyCycles.empty())
+        return 0;
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(coreBusyCycles.size());
+    return static_cast<double>(peak) / mean;
+}
+
 RunResult
 runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores)
 {
@@ -35,19 +51,38 @@ runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores)
 
     machine.syncClocks();
     const Cycles start = machine.maxClock();
+    const CoherenceBus &coh = machine.coherence();
+    const std::uint64_t base_flips = coh.flipMessages();
+    const std::uint64_t base_invals = coh.invalidations();
+    const std::uint64_t base_shootdowns = coh.shootdownsDelivered();
+
+    RunResult res;
+    res.coreBusyCycles.assign(num_cores, 0);
+    res.coreTxs.assign(num_cores, 0);
 
     for (std::uint64_t i = 0; i < num_txs; ++i) {
         const CoreId core = static_cast<CoreId>(i % num_cores);
+        const Cycles op_start = machine.clock(core);
         exp.workload->runOp(core);
+        res.coreBusyCycles[core] += machine.clock(core) - op_start;
+        ++res.coreTxs[core];
         // Bulk-synchronous rounds: re-align core clocks after each
         // round-robin cycle so shared-resource timing (bus, banks) is
         // not distorted by simulation-order clock skew.
         if (num_cores > 1 && core == num_cores - 1)
             machine.syncClocks();
     }
+    // A final partial round (num_txs % num_cores != 0) must not leave
+    // core clocks skewed relative to the bulk-synchronous model — the
+    // run ends on the same barrier every full round ends on.
+    if (num_cores > 1)
+        machine.syncClocks();
+    for (unsigned c = 0; c < num_cores; ++c) {
+        ssp_assert(machine.clock(c) == machine.maxClock(),
+                   "core clocks skewed after the final barrier");
+    }
 
     MemoryBus &bus = machine.bus();
-    RunResult res;
     res.backend = be.name();
     res.workload = exp.workload->name();
     res.committedTxs = be.committedTxs() - exp.baseCommits;
@@ -63,6 +98,9 @@ runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores)
     res.checkpointWrites = bus.nvramWrites(WriteCategory::Checkpoint) -
                            exp.baseCheckpointWrites;
     res.journalWrites = res.loggingWrites - res.checkpointWrites;
+    res.coherenceFlips = coh.flipMessages() - base_flips;
+    res.coherenceInvalidations = coh.invalidations() - base_invals;
+    res.coherenceShootdowns = coh.shootdownsDelivered() - base_shootdowns;
 
     const TxCharacterization &charz = be.characterization();
     res.avgLinesPerTx = charz.linesPerTx.mean();

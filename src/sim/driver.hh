@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/system_builder.hh"
 
@@ -39,11 +40,27 @@ struct RunResult
     double avgPagesPerTx = 0;
     std::uint64_t maxPagesPerTx = 0;
 
+    /** Per-core cycles spent executing operations (index = core). */
+    std::vector<std::uint64_t> coreBusyCycles;
+    /** Per-core operation counts (index = core). */
+    std::vector<std::uint64_t> coreTxs;
+
+    /** Coherence traffic during the run (deltas over setup). */
+    std::uint64_t coherenceFlips = 0;         ///< flip-current-bit sends
+    std::uint64_t coherenceInvalidations = 0; ///< MESI write invalidations
+    std::uint64_t coherenceShootdowns = 0;    ///< flip-broadcast drops
+
     /** Transactions per second at the simulated core frequency. */
     double tps() const;
 
     /** NVRAM writes per committed transaction. */
     double writesPerTx() const;
+
+    /**
+     * Load imbalance: max over cores of busy cycles divided by the mean
+     * (1.0 = perfectly balanced); 0 when no busy time was recorded.
+     */
+    double imbalance() const;
 };
 
 /**

@@ -63,6 +63,8 @@ SweepCell::label() const
         out += "/ch" + std::to_string(nvramChannels);
     if (nvramDevice != NvramDevice::PaperPcm)
         out += std::string("/") + nvramDeviceName(nvramDevice);
+    if (keyShards > 1)
+        out += "/p" + std::to_string(keyShards);
     return out;
 }
 
@@ -78,8 +80,8 @@ deriveCellSeed(std::uint64_t base_seed, std::uint64_t ordinal)
 std::vector<std::string>
 knownFigures()
 {
-    return {"fig5",   "fig6",    "fig7",    "fig8", "fig9",
-            "table3", "table45", "chan",    "smoke"};
+    return {"fig5",   "fig6",    "fig7", "fig8",  "fig9",
+            "table3", "table45", "chan", "scale", "smoke"};
 }
 
 namespace
@@ -116,6 +118,25 @@ std::vector<unsigned>
 defaultChannelList()
 {
     return {1, 2, 4, 8};
+}
+
+/** Core counts the scale grid sweeps by default. */
+std::vector<unsigned>
+defaultCoreList()
+{
+    return {1, 2, 4, 8};
+}
+
+/** Workloads of the scale grid: shared-uniform (SPS), partitioned
+ *  (-Rand, per-core key shards) and Zipf-contended (shared hotspot)
+ *  scenarios.  SPS first so the (SPS, SSP) seed ordinal is 0 — the
+ *  same stream as the smoke grid's only cell. */
+std::vector<WorkloadKind>
+scaleWorkloads()
+{
+    return {WorkloadKind::Sps, WorkloadKind::BTreeRand,
+            WorkloadKind::HashRand, WorkloadKind::BTreeZipf,
+            WorkloadKind::HashZipf};
 }
 
 /** Generates the unfiltered grid for one figure via emit(). */
@@ -239,6 +260,39 @@ generateCells(const std::string &figure, std::uint64_t txs,
                 }
             }
         }
+    } else if (figure == "scale") {
+        // Core scaling on the smoke machine: every paper design across
+        // core counts and three sharing scenarios — shared-uniform
+        // (SPS), partitioned (-Rand workloads confine each core to its
+        // own key shard) and Zipf-contended (shared 80/15 hotspot).
+        // Seed ordinals are pinned per (workload, backend) so every
+        // core count replays the identical key stream, and SSP comes
+        // first so the (SPS, SSP, 1 core) cell is stream-identical to
+        // the smoke cell — scripts/check.sh diffs the two to catch
+        // single-core timing regressions.
+        const std::vector<unsigned> core_list =
+            opts.coreCounts.empty() ? defaultCoreList() : opts.coreCounts;
+        const std::vector<BackendKind> backends = {
+            BackendKind::Ssp, BackendKind::UndoLog, BackendKind::RedoLog};
+        for (unsigned cores : core_list) {
+            std::int64_t seed_ordinal = 0;
+            for (WorkloadKind w : scaleWorkloads()) {
+                const bool partitioned = (w == WorkloadKind::BTreeRand ||
+                                          w == WorkloadKind::HashRand);
+                for (BackendKind b : backends) {
+                    SweepCell cell;
+                    cell.backend = b;
+                    cell.workload = w;
+                    cell.cores = cores;
+                    cell.base = smokeConfig();
+                    cell.seedOrdinal = seed_ordinal++;
+                    if (partitioned && cores > 1)
+                        cell.keyShards = cores;
+                    cell.txs = txs;
+                    emit(std::move(cell));
+                }
+            }
+        }
     } else if (figure == "smoke") {
         // One tiny CI cell proving the whole pipeline end to end.
         SweepCell cell;
@@ -266,7 +320,9 @@ std::vector<SweepCell>
 buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
 {
     std::uint64_t txs = opts.txs != 0 ? opts.txs : kDefaultTxs;
-    if (opts.txs == 0 && figure == "smoke")
+    // The scale grid shares the smoke machine and transaction budget so
+    // its single-core cells stay directly comparable to the smoke cell.
+    if (opts.txs == 0 && (figure == "smoke" || figure == "scale"))
         txs = 400;
 
     // Only the chan grid sweeps channel counts; failing beats silently
@@ -276,15 +332,30 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
                   "not '%s'",
                   figure.c_str());
     }
+    // Likewise, only the scale grid sweeps core counts.
+    if (!opts.coreCounts.empty() && figure != "scale") {
+        ssp_fatal("the cores option only applies to the 'scale' grid, "
+                  "not '%s'",
+                  figure.c_str());
+    }
+    // Per-cell key sharding is a grid decision (the scale grid's
+    // partitioned scenario); failing beats silently dropping a
+    // caller-supplied value.
+    if (opts.scale.keyShards != 1) {
+        ssp_fatal("WorkloadScale.keyShards is set per cell by the grid; "
+                  "it cannot be passed through SweepGridOptions");
+    }
 
     std::vector<SweepCell> cells;
     std::uint64_t ordinal = 0;
     generateCells(figure, txs, opts, [&](SweepCell cell) {
         cell.figure = figure;
         cell.scale = opts.scale;
+        cell.scale.keyShards = cell.keyShards;
         cell.nvramDevice = opts.nvramDevice;
-        if (figure == "smoke") {
-            // Keep the smoke cell proportionate to its tiny machine.
+        if (figure == "smoke" || figure == "scale") {
+            // Keep the cells proportionate to their tiny machine (and
+            // the scale grid's streams identical to the smoke cell's).
             cell.scale.keySpace = std::min<std::uint64_t>(
                 cell.scale.keySpace, 1024);
             cell.scale.spsElements = std::min<std::uint64_t>(

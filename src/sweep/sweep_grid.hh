@@ -51,6 +51,8 @@ struct SweepCell
     unsigned nvramChannels = 1;
     /** NVRAM technology preset; PaperPcm is the paper's Table 2 device. */
     NvramDevice nvramDevice = NvramDevice::PaperPcm;
+    /** scale-grid knob: per-core key shards (1 = shared key space). */
+    unsigned keyShards = 1;
 
     /**
      * Seed-derivation ordinal override; -1 derives from the cell's
@@ -89,6 +91,10 @@ struct SweepGridOptions
      *  Unlike the backend/workload filters this changes the grid shape,
      *  so per-cell seeds follow the requested list. */
     std::vector<unsigned> channels{};
+    /** scale grid: core counts to sweep; empty = {1, 2, 4, 8}.  Seeds
+     *  are pinned per (workload, backend), so the list's shape does not
+     *  change any cell's stream. */
+    std::vector<unsigned> coreCounts{};
     /** NVRAM device preset applied to every cell of the grid. */
     NvramDevice nvramDevice = NvramDevice::PaperPcm;
 };
@@ -98,8 +104,9 @@ std::vector<std::string> knownFigures();
 
 /**
  * Build the cell grid reproducing @p figure ("fig5".."fig9", "table3",
- * "table45", the channel-scaling "chan" grid, or the tiny CI "smoke"
- * grid), then apply the option filters.  Fatal on unknown figure names.
+ * "table45", the channel-scaling "chan" grid, the core-scaling "scale"
+ * grid, or the tiny CI "smoke" grid), then apply the option filters.
+ * Fatal on unknown figure names.
  */
 std::vector<SweepCell> buildFigureGrid(const std::string &figure,
                                        const SweepGridOptions &opts = {});

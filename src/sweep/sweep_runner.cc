@@ -107,6 +107,9 @@ sweepReport(const std::string &figure,
         if (r.cell.nvramDevice != NvramDevice::PaperPcm)
             c.set("nvram_device",
                   Json::str(nvramDeviceName(r.cell.nvramDevice)));
+        if (r.cell.keyShards > 1)
+            c.set("key_shards",
+                  Json::number(std::uint64_t{r.cell.keyShards}));
         // Seeds span the full 64-bit range, past the 2^53 integers a
         // JSON number can hold exactly — emit them as hex strings.
         char seed_hex[32];
@@ -141,6 +144,24 @@ sweepReport(const std::string &figure,
         m.set("avg_lines_per_tx", Json::number(r.run.avgLinesPerTx));
         m.set("avg_pages_per_tx", Json::number(r.run.avgPagesPerTx));
         m.set("max_pages_per_tx", Json::number(r.run.maxPagesPerTx));
+        // Multi-core-only metrics are gated on the core count so every
+        // single-core report stays byte-identical to the 1-core model.
+        if (r.cell.cores > 1) {
+            Json busy = Json::array();
+            for (std::uint64_t v : r.run.coreBusyCycles)
+                busy.push(Json::number(v));
+            m.set("core_busy_cycles", std::move(busy));
+            Json per_core_txs = Json::array();
+            for (std::uint64_t v : r.run.coreTxs)
+                per_core_txs.push(Json::number(v));
+            m.set("core_txs", std::move(per_core_txs));
+            m.set("imbalance", Json::number(r.run.imbalance()));
+            m.set("coherence_flips", Json::number(r.run.coherenceFlips));
+            m.set("coherence_invalidations",
+                  Json::number(r.run.coherenceInvalidations));
+            m.set("coherence_shootdowns",
+                  Json::number(r.run.coherenceShootdowns));
+        }
         c.set("metrics", std::move(m));
         cells.push(std::move(c));
     }

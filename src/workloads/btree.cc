@@ -243,7 +243,7 @@ BTreeWorkload::upsertOrDelete(CoreId c, std::uint64_t key)
 void
 BTreeWorkload::runOp(CoreId core)
 {
-    upsertOrDelete(core, keys_.next());
+    upsertOrDelete(core, shardKey(core, keys_.next(), keys_.keySpace()));
 }
 
 bool

@@ -114,7 +114,7 @@ HashWorkload::upsertOrDelete(CoreId core, std::uint64_t key)
 void
 HashWorkload::runOp(CoreId core)
 {
-    upsertOrDelete(core, keys_.next());
+    upsertOrDelete(core, shardKey(core, keys_.next(), keys_.keySpace()));
 }
 
 bool

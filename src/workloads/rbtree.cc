@@ -282,7 +282,7 @@ RbTreeWorkload::upsertOrDelete(CoreId c, std::uint64_t k)
 void
 RbTreeWorkload::runOp(CoreId core)
 {
-    upsertOrDelete(core, keys_.next());
+    upsertOrDelete(core, shardKey(core, keys_.next(), keys_.keySpace()));
 }
 
 int

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "core/backend.hh"
 #include "workloads/persist_alloc.hh"
@@ -53,9 +54,33 @@ class Workload
 
     AtomicityBackend &backend() { return heap_.backend(); }
 
+    /**
+     * Partition the key space per core (the "scale" grid's partitioned
+     * scenario); 1 = shared.  Workloads without keys ignore it.
+     */
+    void setKeyShards(unsigned shards) { keyShards_ = shards; }
+    unsigned keyShards() const { return keyShards_; }
+
   protected:
+    /**
+     * Map a drawn key into @p core's shard of [0, key_space).  Identity
+     * when sharding is off, so single-core streams are untouched.
+     */
+    std::uint64_t
+    shardKey(CoreId core, std::uint64_t key, std::uint64_t key_space) const
+    {
+        if (keyShards_ <= 1)
+            return key;
+        const std::uint64_t shard = key_space / keyShards_;
+        ssp_assert(shard > 0,
+                   "more key shards than keys: shrink keyShards or grow "
+                   "the key space");
+        return key % shard + (core % keyShards_) * shard;
+    }
+
     TxHeap heap_;
     PersistAlloc &alloc_;
+    unsigned keyShards_ = 1;
 };
 
 } // namespace ssp

@@ -68,9 +68,12 @@ realWorkloads()
     return {WorkloadKind::Memcached, WorkloadKind::Vacation};
 }
 
+namespace
+{
+
 std::unique_ptr<Workload>
-makeWorkload(WorkloadKind kind, AtomicityBackend &backend,
-             PersistAlloc &alloc, const WorkloadScale &scale)
+makeWorkloadImpl(WorkloadKind kind, AtomicityBackend &backend,
+                 PersistAlloc &alloc, const WorkloadScale &scale)
 {
     switch (kind) {
       case WorkloadKind::BTreeRand:
@@ -108,6 +111,21 @@ makeWorkload(WorkloadKind kind, AtomicityBackend &backend,
       }
     }
     ssp_panic("unreachable workload kind");
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind, AtomicityBackend &backend,
+             PersistAlloc &alloc, const WorkloadScale &scale)
+{
+    std::unique_ptr<Workload> w =
+        makeWorkloadImpl(kind, backend, alloc, scale);
+    // Sharding applies after construction so setup() (which prefills on
+    // core 0 across the whole key space) is not affected by it; only
+    // runOp() maps keys into the acting core's shard.
+    w->setKeyShards(scale.keyShards);
+    return w;
 }
 
 } // namespace ssp

@@ -35,6 +35,13 @@ struct WorkloadScale
     std::uint64_t keySpace = 4096;    ///< microbenchmark key space
     std::uint64_t spsElements = 65536;///< SPS array length
     std::uint64_t seed = 42;
+    /**
+     * Per-core key partitioning for the keyed microbenchmarks: core c
+     * draws from its own keySpace/keyShards shard, so cores never touch
+     * the same keys (the "partitioned" scaling scenario).  1 keeps the
+     * full key space shared across cores.
+     */
+    unsigned keyShards = 1;
 };
 
 /** Printable workload name as in the paper. */

@@ -74,6 +74,8 @@ TEST(SweepGrid, FigureShapesMatchTheBenches)
     EXPECT_EQ(buildFigureGrid("fig9").size(), 7u + 5u * 7u);
     // table3: SSP across all nine workloads.
     EXPECT_EQ(buildFigureGrid("table3").size(), 9u);
+    // scale: 4 core counts x 5 workloads x 3 designs.
+    EXPECT_EQ(buildFigureGrid("scale").size(), 4u * 5u * 3u);
     EXPECT_EQ(buildFigureGrid("smoke").size(), 1u);
 }
 
