@@ -43,6 +43,9 @@ usage(int exit_code)
         "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
         "  --cores LIST       scale grid: core counts to sweep\n"
         "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
+        "  --conflict-mode M  concurrent-conflict handling: fcw\n"
+        "                     (first-committer-wins, the default),\n"
+        "                     lazy (read-set-only validation), off\n"
         "  --nvram-device D   NVRAM preset for every cell: paper-pcm,\n"
         "                     stt-mram, flash, dram-only (default:\n"
         "                     paper-pcm, the Table 2 device)\n"
@@ -53,22 +56,6 @@ usage(int exit_code)
         "  --quiet            suppress per-cell progress lines\n"
         "  --list             print known figures and exit\n");
     std::exit(exit_code);
-}
-
-std::vector<std::string>
-splitCommas(const std::string &list)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= list.size()) {
-        std::size_t comma = list.find(',', start);
-        if (comma == std::string::npos)
-            comma = list.size();
-        if (comma > start)
-            out.push_back(list.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return out;
 }
 
 struct CliArgs
@@ -102,28 +89,15 @@ parseArgs(int argc, char **argv)
             for (const std::string &name : splitCommas(next_value(i)))
                 args.grid.workloads.push_back(parseWorkloadKind(name));
         } else if (arg == "--channels" || arg == "--cores") {
-            const bool is_channels = (arg == "--channels");
-            for (const std::string &item : splitCommas(next_value(i))) {
-                unsigned long v = 0;
-                try {
-                    std::size_t used = 0;
-                    v = std::stoul(item, &used);
-                    if (used != item.size())
-                        v = 0; // trailing junk ("4x") is invalid too
-                } catch (const std::exception &) {
-                    v = 0;
-                }
-                if (v == 0 || v > 64) {
-                    std::fprintf(stderr,
-                                 "%s values must be in [1, 64], got "
-                                 "'%s'\n",
-                                 arg.c_str(), item.c_str());
-                    usage(2);
-                }
-                auto &list = is_channels ? args.grid.channels
-                                         : args.grid.coreCounts;
-                list.push_back(static_cast<unsigned>(v));
-            }
+            // parseCountList is fatal on an empty or invalid list: a
+            // bad count sweep must fail loudly, never fall back to the
+            // grid's default list and "succeed".
+            auto &list = (arg == "--channels") ? args.grid.channels
+                                               : args.grid.coreCounts;
+            for (unsigned v : parseCountList(arg, next_value(i)))
+                list.push_back(v);
+        } else if (arg == "--conflict-mode") {
+            args.grid.conflictMode = parseConflictMode(next_value(i));
         } else if (arg == "--nvram-device") {
             args.grid.nvramDevice = parseNvramDevice(next_value(i));
         } else if (arg == "--jobs") {

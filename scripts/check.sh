@@ -3,13 +3,32 @@
 # Full local CI pipeline: configure, build, run the test suite, then
 # prove the sweep/JSON pipeline end to end with one smoke cell.
 #
-# Usage: scripts/check.sh [build-dir]  (default: build)
+# Usage: scripts/check.sh [--lint] [build-dir]  (default: build)
+#
+#   --lint   also run clang-format --dry-run --Werror over every
+#            tracked C++ source (mirrors the CI format-lint job).
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_lint=0
+if [ "${1:-}" = "--lint" ]; then
+    run_lint=1
+    shift
+fi
 build_dir="${1:-$repo_root/build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+if [ "$run_lint" = 1 ]; then
+    echo "== clang-format lint =="
+    if ! command -v clang-format >/dev/null; then
+        echo "error: --lint needs clang-format on PATH" >&2
+        exit 1
+    fi
+    (cd "$repo_root" &&
+        git ls-files '*.cc' '*.hh' | xargs clang-format --dry-run --Werror)
+fi
 
 echo "== configure =="
 cmake -B "$build_dir" -S "$repo_root"

@@ -17,6 +17,7 @@ BaselineBase::begin(CoreId core)
     tx_[core].inTx = true;
     tx_[core].tid = nextTid_++;
     machine_->clock(core) += machine_->cfg().opCost;
+    machine_->conflicts().beginTx(core, machine_->clock(core));
 }
 
 bool
@@ -60,6 +61,7 @@ BaselineBase::load(CoreId core, Addr vaddr, void *buf, std::uint64_t size)
                           in_line)) {
             machine_->mem().read(loc, out, in_line);
         }
+        machine_->conflicts().recordRead(core, vaddr);
         vaddr += in_line;
         out += in_line;
         size -= in_line;

@@ -62,6 +62,7 @@ RedoLogBackend::storeLine(CoreId core, Addr vaddr, const void *buf,
     const Ppn ppn = translate(core, pageOf(vaddr));
     const Addr line_paddr = lineAddr(ppn, lineIndexInPage(vaddr));
     const Addr line_vaddr = lineBase(vaddr);
+    machine_->conflicts().recordWrite(core, vaddr);
 
     auto it = writeBuf_[core].find(line_vaddr);
     if (it == writeBuf_[core].end()) {
@@ -145,6 +146,10 @@ void
 RedoLogBackend::commit(CoreId core)
 {
     commitPhase1(core);
+    // The ack point: the redo log (with its marker) is durable, so the
+    // write set is published for peer conflict windows here.
+    machine_->conflicts().commitTx(core, machine_->clock(core),
+                                   machine_->minClock());
     commitPhase2(core);
 }
 
@@ -160,6 +165,7 @@ RedoLogBackend::abort(CoreId core)
     }
     writeBuf_[core].clear();
     logs_[core]->truncate();
+    machine_->conflicts().abortTx(core);
     tx_[core].clear();
 }
 

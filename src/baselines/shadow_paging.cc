@@ -40,6 +40,7 @@ ShadowPagingBackend::load(CoreId core, Addr vaddr, void *buf,
         now = machine_->caches().read(core, loc, now);
         now += machine_->cfg().opCost;
         machine_->mem().read(loc, out, in_line);
+        machine_->conflicts().recordRead(core, vaddr);
         vaddr += in_line;
         out += in_line;
         size -= in_line;
@@ -70,6 +71,7 @@ ShadowPagingBackend::storeLine(CoreId core, Addr vaddr, const void *buf,
     Cycles &now = machine_->clock(core);
     BaselineTxState &tx = tx_[core];
     const Vpn vpn = pageOf(vaddr);
+    machine_->conflicts().recordWrite(core, vaddr);
 
     auto it = shadow_[core].find(vpn);
     if (it == shadow_[core].end()) {
@@ -144,6 +146,7 @@ ShadowPagingBackend::commit(CoreId core)
     mapJournal_->truncate();
 
     shadow_[core].clear();
+    machine_->conflicts().commitTx(core, now, machine_->minClock());
     noteCommit(core);
     tx.clear();
 }
@@ -158,6 +161,7 @@ ShadowPagingBackend::abort(CoreId core)
         pool_.release(ppn);
     }
     shadow_[core].clear();
+    machine_->conflicts().abortTx(core);
     tx_[core].clear();
 }
 

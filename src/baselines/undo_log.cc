@@ -52,6 +52,7 @@ UndoLogBackend::storeLine(CoreId core, Addr vaddr, const void *buf,
     const Ppn ppn = translate(core, pageOf(vaddr));
     const Addr line_paddr = lineAddr(ppn, lineIndexInPage(vaddr));
     const Addr line_vaddr = lineBase(vaddr);
+    machine_->conflicts().recordWrite(core, vaddr);
 
     if (!tx.lines.contains(line_vaddr)) {
         // First update of the line in this transaction: log the old
@@ -99,6 +100,7 @@ UndoLogBackend::commit(CoreId core)
     now = logs_[core]->append(std::move(marker), flushed, true);
     logs_[core]->truncate();
 
+    machine_->conflicts().commitTx(core, now, machine_->minClock());
     noteCommit(core);
     tx.clear();
 }
@@ -115,6 +117,7 @@ UndoLogBackend::abort(CoreId core)
             lineAddr(ppn, lineIndexInPage(line_vaddr)));
     }
     logs_[core]->truncate();
+    machine_->conflicts().abortTx(core);
     tx_[core].clear();
 }
 

@@ -203,6 +203,12 @@ CacheHierarchy::setTxBit(CoreId core, Addr addr, bool tx)
 }
 
 bool
+CacheHierarchy::txBitSet(CoreId core, Addr addr) const
+{
+    return l1s_[core]->txBit(lineBase(addr));
+}
+
+bool
 CacheHierarchy::isCached(CoreId core, Addr addr) const
 {
     const Addr line = lineBase(addr);

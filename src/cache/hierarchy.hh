@@ -98,6 +98,14 @@ class CacheHierarchy
     /** Mark or clear the TX bit in the L1 copy. */
     void setTxBit(CoreId core, Addr addr, bool tx);
 
+    /**
+     * True when the L1 copy of @p addr carries the TX bit — i.e. the
+     * line is speculative state of @p core's open transaction.  The
+     * ConflictManager's per-transaction write set is the virtual-line
+     * view of exactly these physical lines (see tests/test_conflicts).
+     */
+    bool txBitSet(CoreId core, Addr addr) const;
+
     /** True if the line is present in any level. */
     bool isCached(CoreId core, Addr addr) const;
 

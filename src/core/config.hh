@@ -14,6 +14,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/types.hh"
+#include "core/conflict_manager.hh"
 #include "mem/device_presets.hh"
 #include "mem/mem_system.hh"
 #include "mem/timing_model.hh"
@@ -37,6 +38,13 @@ struct SspConfig
     Cycles opCost = 2;             ///< non-memory work per simulated op
 
     HierarchyParams caches{};
+
+    /**
+     * Concurrent-transaction conflict handling (detection mode, abort
+     * penalty, retry backoff).  Only effective with numCores > 1; the
+     * single-core model has no overlapping windows by construction.
+     */
+    ConflictParams conflicts{};
 
     MemTimingParams dram = dramDevicePreset();
     MemTimingParams nvram = nvramDevicePreset(NvramDevice::PaperPcm);

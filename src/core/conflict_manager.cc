@@ -1,0 +1,177 @@
+#include "core/conflict_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ssp
+{
+
+namespace
+{
+
+/** True when any line of @p lines appears in @p set. */
+bool
+intersects(const std::unordered_set<Addr> &lines,
+           const std::unordered_set<Addr> &set)
+{
+    // Probe the smaller side against the larger one.
+    if (lines.size() > set.size())
+        return intersects(set, lines);
+    return std::any_of(lines.begin(), lines.end(), [&](Addr a) {
+        return set.contains(a);
+    });
+}
+
+} // namespace
+
+ConflictManager::ConflictManager(unsigned num_cores,
+                                 const ConflictParams &params)
+    : params_(params), enabled_(params.enabled && num_cores > 1),
+      tx_(num_cores)
+{
+}
+
+void
+ConflictManager::beginTx(CoreId core, Cycles now)
+{
+    if (!enabled_)
+        return;
+    TxState &tx = tx_[core];
+    ssp_assert(!tx.active, "conflict tracking already open on this core");
+    tx.active = true;
+    tx.beginCycle = now;
+    tx.validated = false;
+    tx.reads.clear();
+    tx.writes.clear();
+}
+
+void
+ConflictManager::recordRead(CoreId core, Addr vaddr)
+{
+    if (!enabled_ || !tx_[core].active)
+        return;
+    tx_[core].reads.insert(lineBase(vaddr));
+}
+
+void
+ConflictManager::recordWrite(CoreId core, Addr vaddr)
+{
+    if (!enabled_ || !tx_[core].active)
+        return;
+    tx_[core].writes.insert(lineBase(vaddr));
+}
+
+bool
+ConflictManager::validate(CoreId core, Cycles now)
+{
+    if (!enabled_)
+        return true;
+    TxState &tx = tx_[core];
+    ssp_assert(tx.active, "commit validation without an open transaction");
+
+    for (const CommitRecord &rec : log_) {
+        // Only peer commits inside this transaction's (begin, now]
+        // window conflict: a record at or before the begin point was
+        // visible when the transaction started, and one stamped after
+        // `now` belongs to a transaction this (earlier) committer
+        // should have beaten.  The latter case is the one-sided
+        // approximation of sequential round-robin simulation: the
+        // later-stamped peer has already committed irrevocably in
+        // simulation order, so neither side aborts, and symmetric
+        // contention undercounts conflicts where the earlier-simulated
+        // core had the longer transaction.  Detecting it here would
+        // punish the rightful winner; a two-pass round (speculate,
+        // order by commit point, re-run losers) is the faithful fix.
+        if (rec.core == core || rec.commitCycle <= tx.beginCycle ||
+            rec.commitCycle > now) {
+            continue;
+        }
+        if (params_.validation == ConflictValidation::FirstCommitterWins &&
+            intersects(tx.writes, rec.writes)) {
+            ++stats_.writeWriteConflicts;
+            return false;
+        }
+        if (intersects(tx.reads, rec.writes)) {
+            ++stats_.readWriteConflicts;
+            return false;
+        }
+    }
+    tx.validated = true;
+    tx.validatedAt = now;
+    return true;
+}
+
+void
+ConflictManager::commitTx(CoreId core, Cycles now, Cycles min_core_clock)
+{
+    if (!enabled_)
+        return;
+    TxState &tx = tx_[core];
+    ssp_assert(tx.active, "conflict-tracking commit without a begin");
+
+    if (!tx.writes.empty()) {
+        CommitRecord rec;
+        rec.core = core;
+        rec.commitCycle = tx.validated ? tx.validatedAt : now;
+        rec.writes = std::move(tx.writes);
+        log_.push_back(std::move(rec));
+    }
+    tx.active = false;
+    tx.validated = false;
+    tx.reads.clear();
+    tx.writes.clear();
+
+    // Prune: a future transaction on any core begins no earlier than
+    // that core's current clock, and an already-open one no earlier
+    // than its begin point — records at or below both floors can never
+    // fall inside a validation window again.
+    Cycles floor = min_core_clock;
+    for (const TxState &t : tx_) {
+        if (t.active)
+            floor = std::min(floor, t.beginCycle);
+    }
+    while (!log_.empty() && log_.front().commitCycle <= floor)
+        log_.pop_front();
+}
+
+void
+ConflictManager::abortTx(CoreId core)
+{
+    if (!enabled_)
+        return;
+    TxState &tx = tx_[core];
+    tx.active = false;
+    tx.validated = false;
+    tx.reads.clear();
+    tx.writes.clear();
+}
+
+Cycles
+ConflictManager::retryPenalty(CoreId core, unsigned attempt)
+{
+    ssp_assert(enabled_, "retry penalty without conflict detection");
+    ssp_assert(attempt >= 1);
+    (void)core;
+    const unsigned doublings =
+        std::min(attempt - 1, params_.backoffCapDoublings);
+    const Cycles backoff = params_.backoffBase << doublings;
+    ++stats_.aborts;
+    ++stats_.retries;
+    stats_.backoffCycles += backoff;
+    return params_.abortPenalty + backoff;
+}
+
+void
+ConflictManager::reset()
+{
+    for (auto &tx : tx_) {
+        tx.active = false;
+        tx.validated = false;
+        tx.reads.clear();
+        tx.writes.clear();
+    }
+    log_.clear();
+}
+
+} // namespace ssp

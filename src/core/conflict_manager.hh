@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Commit-time conflict detection for overlapping transactions.
+ *
+ * The driver interleaves cores in bulk-synchronous rounds: every core's
+ * transaction of a round begins at the round barrier, so in simulated
+ * time the transactions overlap even though the simulator executes them
+ * one after another.  The ConflictManager supplies the concurrency
+ * semantics for that overlap: each in-flight transaction records its
+ * read and write sets at cache-line granularity (virtual line
+ * addresses, stable across SSP's CoW flips and the baselines' shadow
+ * mappings — the same lines the hierarchy tags with the TX bit), and a
+ * transaction validates at commit against every peer commit whose
+ * completion time falls inside its own [begin, commit] window.
+ *
+ * The default policy is first-committer-wins: the earlier commit (in
+ * simulated time; simulation order breaks ties) stands, and the
+ * validating transaction aborts on any read-write or write-write
+ * overlap, rolls back through its backend's abort machinery, and
+ * re-executes after an exponential backoff.  The lazy-validation mode
+ * only validates the read set — write-write overlaps are resolved by
+ * commit order, as in lazy-versioning HTM designs where buffered
+ * writes are published atomically at commit.
+ *
+ * Every retry begins after the abort point, so a given logged commit
+ * can conflict with a transaction at most once: the retry count per
+ * operation is bounded by the number of overlapping peer commits, and
+ * the simulation cannot livelock.  With one core (or detection
+ * disabled) every call is a no-op, keeping single-core timing
+ * bit-identical to the serialized model.
+ */
+
+#ifndef SSP_CORE_CONFLICT_MANAGER_HH
+#define SSP_CORE_CONFLICT_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ssp
+{
+
+/** When a transaction checks for conflicts (see file comment). */
+enum class ConflictValidation
+{
+    FirstCommitterWins, ///< validate read + write sets at commit
+    Lazy,               ///< validate the read set only
+};
+
+/** Conflict-handling knobs (part of SspConfig). */
+struct ConflictParams
+{
+    /** Detect conflicts at all; single-core machines never do. */
+    bool enabled = true;
+    ConflictValidation validation = ConflictValidation::FirstCommitterWins;
+    /** Abort cost: pipeline flush + rollback handler dispatch. */
+    Cycles abortPenalty = 40;
+    /** First-retry backoff; doubles per consecutive abort. */
+    Cycles backoffBase = 64;
+    /** Cap on the backoff doublings (base << cap is the ceiling). */
+    unsigned backoffCapDoublings = 6;
+};
+
+/** Aggregate conflict accounting for one machine. */
+struct ConflictStats
+{
+    std::uint64_t aborts = 0;  ///< commit validations that failed
+    std::uint64_t retries = 0; ///< re-executions (== aborts today)
+    std::uint64_t writeWriteConflicts = 0;
+    std::uint64_t readWriteConflicts = 0;
+    Cycles backoffCycles = 0; ///< total backoff charged to core clocks
+};
+
+/** Per-machine conflict detector (one per Machine, all backends). */
+class ConflictManager
+{
+  public:
+    ConflictManager(unsigned num_cores, const ConflictParams &params);
+
+    /** True when conflicts are both requested and possible (> 1 core). */
+    bool enabled() const { return enabled_; }
+
+    /** A transaction opened on @p core at simulated time @p now. */
+    void beginTx(CoreId core, Cycles now);
+
+    /** Record a transactional load of the line containing @p vaddr. */
+    void recordRead(CoreId core, Addr vaddr);
+
+    /** Record a transactional store to the line containing @p vaddr. */
+    void recordWrite(CoreId core, Addr vaddr);
+
+    /**
+     * Commit-time validation at simulated time @p now: false when a
+     * peer commit inside this transaction's window conflicts under the
+     * configured mode — the caller must abort, charge retryPenalty()
+     * and re-execute.  On success the transaction's commit point is
+     * fixed at @p now — the moment it wins first-committer arbitration
+     * and becomes irrevocable — so its published record is stamped
+     * here, not at the (possibly much later) durability ack: a design
+     * with a long commit flush must not hide its conflicts behind it.
+     */
+    bool validate(CoreId core, Cycles now);
+
+    /**
+     * Publish @p core's write set to the commit log and close the
+     * transaction.  The record is stamped at the commit point fixed by
+     * the last successful validate(); transactions committed without
+     * one (the single-core model, direct backend drivers) are stamped
+     * at @p now, the ack time.  @p min_core_clock (the minimum clock
+     * over all cores) prunes log entries no future window can reach.
+     */
+    void commitTx(CoreId core, Cycles now, Cycles min_core_clock);
+
+    /** Drop @p core's in-flight sets (abort path; idempotent). */
+    void abortTx(CoreId core);
+
+    /**
+     * Account one abort + re-execution and return the cycles to charge
+     * the core: abort penalty plus exponential backoff for the
+     * @p attempt-th consecutive failure (1-based).
+     */
+    Cycles retryPenalty(CoreId core, unsigned attempt);
+
+    /** Power failure: in-flight volatile state disappears. */
+    void reset();
+
+    const ConflictStats &stats() const { return stats_; }
+    const ConflictParams &params() const { return params_; }
+
+    /** Introspection (tests): in-flight set sizes and log depth. */
+    bool inTx(CoreId core) const { return tx_[core].active; }
+    std::size_t readSetSize(CoreId core) const
+    {
+        return tx_[core].reads.size();
+    }
+    std::size_t writeSetSize(CoreId core) const
+    {
+        return tx_[core].writes.size();
+    }
+    std::size_t logSize() const { return log_.size(); }
+
+  private:
+    /** One in-flight transaction's footprint. */
+    struct TxState
+    {
+        bool active = false;
+        Cycles beginCycle = 0;
+        /** Commit point fixed by the last successful validate(). */
+        bool validated = false;
+        Cycles validatedAt = 0;
+        std::unordered_set<Addr> reads;  ///< line-aligned vaddrs
+        std::unordered_set<Addr> writes; ///< line-aligned vaddrs
+    };
+
+    /** One committed transaction's published write set. */
+    struct CommitRecord
+    {
+        CoreId core = 0;
+        Cycles commitCycle = 0;
+        std::unordered_set<Addr> writes;
+    };
+
+    ConflictParams params_;
+    bool enabled_;
+    std::vector<TxState> tx_;
+    std::deque<CommitRecord> log_;
+    ConflictStats stats_;
+};
+
+} // namespace ssp
+
+#endif // SSP_CORE_CONFLICT_MANAGER_HH

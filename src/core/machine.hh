@@ -14,6 +14,7 @@
 #include "cache/hierarchy.hh"
 #include "common/types.hh"
 #include "core/config.hh"
+#include "core/conflict_manager.hh"
 #include "mem/memory_bus.hh"
 #include "mem/phys_mem.hh"
 #include "vm/page_table.hh"
@@ -32,6 +33,7 @@ class Machine
           caches_(cfg.numCores, cfg.caches, bus_),
           pt_(cfg.pageWalkCycles),
           coherence_(cfg.numCores, cfg.broadcastLatency),
+          conflicts_(cfg.numCores, cfg.conflicts),
           clocks_(cfg.numCores, 0)
     {
         // The hierarchy's write path invalidates peer copies through the
@@ -53,6 +55,8 @@ class Machine
     CacheHierarchy &caches() { return caches_; }
     PageTable &pt() { return pt_; }
     CoherenceBus &coherence() { return coherence_; }
+    ConflictManager &conflicts() { return conflicts_; }
+    const ConflictManager &conflicts() const { return conflicts_; }
     Tlb &tlb(CoreId core) { return tlbs_[core]; }
 
     Cycles &clock(CoreId core) { return clocks_[core]; }
@@ -65,6 +69,16 @@ class Machine
         Cycles m = 0;
         for (Cycles c : clocks_)
             m = std::max(m, c);
+        return m;
+    }
+
+    /** Minimum core clock — floor of any future transaction's begin. */
+    Cycles
+    minClock() const
+    {
+        Cycles m = clocks_[0];
+        for (Cycles c : clocks_)
+            m = std::min(m, c);
         return m;
     }
 
@@ -104,6 +118,7 @@ class Machine
             tlb.flushAll();
         mem_.powerFail();
         bus_.resetTiming();
+        conflicts_.reset();
     }
 
   private:
@@ -113,6 +128,7 @@ class Machine
     CacheHierarchy caches_;
     PageTable pt_;
     CoherenceBus coherence_;
+    ConflictManager conflicts_;
     std::vector<Tlb> tlbs_;
     std::vector<Cycles> clocks_;
 };

@@ -24,6 +24,7 @@ SspEngine::begin()
     tid_ = mc_.beginTx();
     // ATOMIC_BEGIN acts as a full memory barrier.
     machine_.clock(core_) += machine_.cfg().opCost;
+    machine_.conflicts().beginTx(core_, machine_.clock(core_));
 }
 
 Translation
@@ -82,6 +83,7 @@ SspEngine::load(Addr vaddr, void *buf, std::uint64_t size)
         now += machine_.cfg().opCost;
         stats_.loadCycles += now - t0;
         machine_.mem().read(loc + lineOffset(vaddr), out, in_line);
+        machine_.conflicts().recordRead(core_, vaddr);
         ++stats_.loads;
         vaddr += in_line;
         out += in_line;
@@ -113,6 +115,7 @@ SspEngine::atomicStoreLine(Addr vaddr, const void *buf, std::uint64_t size)
     const Cycles store_t0 = now;
     const Vpn vpn = pageOf(vaddr);
     const unsigned li = lineIndexInPage(vaddr);
+    machine_.conflicts().recordWrite(core_, vaddr);
 
     Translation tr = translate(vpn);
     SspCacheEntry &e = mc_.cache().entry(tr.slot);
@@ -221,6 +224,7 @@ SspEngine::commit()
 
     stats_.commitCycles += now - commit_t0;
     ++stats_.commits;
+    machine_.conflicts().commitTx(core_, now, machine_.minClock());
     writeSet_.clear();
     inTx_ = false;
 }
@@ -250,6 +254,7 @@ SspEngine::abort()
         mc_.coreDeref(ws.slot);
     }
     ++stats_.aborts;
+    machine_.conflicts().abortTx(core_);
     writeSet_.clear();
     inTx_ = false;
 }
@@ -257,6 +262,7 @@ SspEngine::abort()
 void
 SspEngine::reset()
 {
+    machine_.conflicts().abortTx(core_);
     writeSet_.clear();
     inTx_ = false;
 }

@@ -55,6 +55,7 @@ runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores)
     const std::uint64_t base_flips = coh.flipMessages();
     const std::uint64_t base_invals = coh.invalidations();
     const std::uint64_t base_shootdowns = coh.shootdownsDelivered();
+    const ConflictStats base_conflicts = machine.conflicts().stats();
 
     RunResult res;
     res.coreBusyCycles.assign(num_cores, 0);
@@ -101,6 +102,15 @@ runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores)
     res.coherenceFlips = coh.flipMessages() - base_flips;
     res.coherenceInvalidations = coh.invalidations() - base_invals;
     res.coherenceShootdowns = coh.shootdownsDelivered() - base_shootdowns;
+    const ConflictStats &conflicts = machine.conflicts().stats();
+    res.txAborts = conflicts.aborts - base_conflicts.aborts;
+    res.txRetries = conflicts.retries - base_conflicts.retries;
+    res.conflictsWriteWrite =
+        conflicts.writeWriteConflicts - base_conflicts.writeWriteConflicts;
+    res.conflictsReadWrite =
+        conflicts.readWriteConflicts - base_conflicts.readWriteConflicts;
+    res.backoffCycles =
+        conflicts.backoffCycles - base_conflicts.backoffCycles;
 
     const TxCharacterization &charz = be.characterization();
     res.avgLinesPerTx = charz.linesPerTx.mean();

@@ -50,6 +50,14 @@ struct RunResult
     std::uint64_t coherenceInvalidations = 0; ///< MESI write invalidations
     std::uint64_t coherenceShootdowns = 0;    ///< flip-broadcast drops
 
+    /** Conflict handling during the run (deltas over setup); always
+     *  zero on a single core, where no transaction windows overlap. */
+    std::uint64_t txAborts = 0;  ///< commit validations that failed
+    std::uint64_t txRetries = 0; ///< re-executions after an abort
+    std::uint64_t conflictsWriteWrite = 0;
+    std::uint64_t conflictsReadWrite = 0;
+    std::uint64_t backoffCycles = 0; ///< total backoff stall charged
+
     /** Transactions per second at the simulated core frequency. */
     double tps() const;
 

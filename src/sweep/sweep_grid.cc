@@ -7,6 +7,74 @@
 namespace ssp::sweep
 {
 
+ConflictMode
+parseConflictMode(const std::string &name)
+{
+    if (name == "fcw")
+        return ConflictMode::FirstCommitterWins;
+    if (name == "lazy")
+        return ConflictMode::Lazy;
+    if (name == "off")
+        return ConflictMode::Off;
+    ssp_fatal("unknown conflict mode '%s' (expected fcw, lazy or off)",
+              name.c_str());
+}
+
+const char *
+conflictModeName(ConflictMode mode)
+{
+    switch (mode) {
+      case ConflictMode::FirstCommitterWins:
+        return "fcw";
+      case ConflictMode::Lazy:
+        return "lazy";
+      case ConflictMode::Off:
+        return "off";
+    }
+    ssp_panic("unreachable conflict mode");
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > start)
+            out.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::vector<unsigned>
+parseCountList(const std::string &flag, const std::string &list)
+{
+    std::vector<unsigned> out;
+    for (const std::string &item : splitCommas(list)) {
+        unsigned long v = 0;
+        try {
+            std::size_t used = 0;
+            v = std::stoul(item, &used);
+            if (used != item.size())
+                v = 0; // trailing junk ("4x") is invalid too
+        } catch (const std::exception &) {
+            v = 0;
+        }
+        if (v == 0 || v > 64) {
+            ssp_fatal("%s values must be integers in [1, 64], got '%s'",
+                      flag.c_str(), item.c_str());
+        }
+        out.push_back(static_cast<unsigned>(v));
+    }
+    if (out.empty())
+        ssp_fatal("%s: empty count list", flag.c_str());
+    return out;
+}
+
 SspConfig
 paperConfig(unsigned cores)
 {
@@ -45,6 +113,10 @@ SweepCell::config() const
         cfg.applyNvramDevice(nvramDevice);
     if (nvramChannels != 1)
         cfg.nvramChannels = nvramChannels;
+    if (conflictMode == ConflictMode::Off)
+        cfg.conflicts.enabled = false;
+    else if (conflictMode == ConflictMode::Lazy)
+        cfg.conflicts.validation = ConflictValidation::Lazy;
     return cfg;
 }
 
@@ -65,6 +137,8 @@ SweepCell::label() const
         out += std::string("/") + nvramDeviceName(nvramDevice);
     if (keyShards > 1)
         out += "/p" + std::to_string(keyShards);
+    if (conflictMode != ConflictMode::FirstCommitterWins)
+        out += std::string("/cc-") + conflictModeName(conflictMode);
     return out;
 }
 
@@ -130,13 +204,15 @@ defaultCoreList()
 /** Workloads of the scale grid: shared-uniform (SPS), partitioned
  *  (-Rand, per-core key shards) and Zipf-contended (shared hotspot)
  *  scenarios.  SPS first so the (SPS, SSP) seed ordinal is 0 — the
- *  same stream as the smoke grid's only cell. */
+ *  same stream as the smoke grid's only cell; RbTree-Zipf was appended
+ *  (not inserted) when conflict handling landed, so every older cell
+ *  keeps its pinned seed ordinal and replays its original stream. */
 std::vector<WorkloadKind>
 scaleWorkloads()
 {
-    return {WorkloadKind::Sps, WorkloadKind::BTreeRand,
-            WorkloadKind::HashRand, WorkloadKind::BTreeZipf,
-            WorkloadKind::HashZipf};
+    return {WorkloadKind::Sps,       WorkloadKind::BTreeRand,
+            WorkloadKind::HashRand,  WorkloadKind::BTreeZipf,
+            WorkloadKind::HashZipf,  WorkloadKind::RbTreeZipf};
 }
 
 /** Generates the unfiltered grid for one figure via emit(). */
@@ -353,6 +429,7 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
         cell.scale = opts.scale;
         cell.scale.keyShards = cell.keyShards;
         cell.nvramDevice = opts.nvramDevice;
+        cell.conflictMode = opts.conflictMode;
         if (figure == "smoke" || figure == "scale") {
             // Keep the cells proportionate to their tiny machine (and
             // the scale grid's streams identical to the smoke cell's).

@@ -25,6 +25,24 @@
 namespace ssp::sweep
 {
 
+/**
+ * Conflict handling applied to every cell of a grid: the default
+ * first-committer-wins validation, the lazy read-set-only mode, or no
+ * detection at all (the pre-conflict serialized timing model).
+ */
+enum class ConflictMode
+{
+    FirstCommitterWins,
+    Lazy,
+    Off,
+};
+
+/** Parse "fcw" / "lazy" / "off"; fatal on anything else. */
+ConflictMode parseConflictMode(const std::string &name);
+
+/** Printable conflict-mode name (the parse inverse). */
+const char *conflictModeName(ConflictMode mode);
+
 /** The Table 2 machine used by all figure benches (see bench_common). */
 SspConfig paperConfig(unsigned cores = 1);
 
@@ -53,6 +71,8 @@ struct SweepCell
     NvramDevice nvramDevice = NvramDevice::PaperPcm;
     /** scale-grid knob: per-core key shards (1 = shared key space). */
     unsigned keyShards = 1;
+    /** Conflict handling; non-default modes tag the label and report. */
+    ConflictMode conflictMode = ConflictMode::FirstCommitterWins;
 
     /**
      * Seed-derivation ordinal override; -1 derives from the cell's
@@ -97,6 +117,8 @@ struct SweepGridOptions
     std::vector<unsigned> coreCounts{};
     /** NVRAM device preset applied to every cell of the grid. */
     NvramDevice nvramDevice = NvramDevice::PaperPcm;
+    /** Conflict handling applied to every cell of the grid. */
+    ConflictMode conflictMode = ConflictMode::FirstCommitterWins;
 };
 
 /** Grid names understood by buildFigureGrid, in presentation order. */
@@ -113,6 +135,18 @@ std::vector<SweepCell> buildFigureGrid(const std::string &figure,
 
 /** splitmix64 finalizer used to derive per-cell seeds. */
 std::uint64_t deriveCellSeed(std::uint64_t base_seed, std::uint64_t ordinal);
+
+/** Split a comma-separated list, dropping empty items. */
+std::vector<std::string> splitCommas(const std::string &list);
+
+/**
+ * Parse a comma-separated count list for @p flag ("--cores",
+ * "--channels"): every item must be an integer in [1, 64], and the
+ * list must be non-empty — an empty or invalid list is fatal, never a
+ * silent fall-back to the grid default.
+ */
+std::vector<unsigned> parseCountList(const std::string &flag,
+                                     const std::string &list);
 
 } // namespace ssp::sweep
 

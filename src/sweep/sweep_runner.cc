@@ -110,6 +110,9 @@ sweepReport(const std::string &figure,
         if (r.cell.keyShards > 1)
             c.set("key_shards",
                   Json::number(std::uint64_t{r.cell.keyShards}));
+        if (r.cell.conflictMode != ConflictMode::FirstCommitterWins)
+            c.set("conflict_mode",
+                  Json::str(conflictModeName(r.cell.conflictMode)));
         // Seeds span the full 64-bit range, past the 2^53 integers a
         // JSON number can hold exactly — emit them as hex strings.
         char seed_hex[32];
@@ -161,6 +164,13 @@ sweepReport(const std::string &figure,
                   Json::number(r.run.coherenceInvalidations));
             m.set("coherence_shootdowns",
                   Json::number(r.run.coherenceShootdowns));
+            m.set("tx_aborts", Json::number(r.run.txAborts));
+            m.set("tx_retries", Json::number(r.run.txRetries));
+            m.set("conflicts_write_write",
+                  Json::number(r.run.conflictsWriteWrite));
+            m.set("conflicts_read_write",
+                  Json::number(r.run.conflictsReadWrite));
+            m.set("backoff_cycles", Json::number(r.run.backoffCycles));
         }
         c.set("metrics", std::move(m));
         cells.push(std::move(c));

@@ -226,17 +226,19 @@ BTreeWorkload::scan(CoreId c, std::uint64_t key, unsigned limit)
 void
 BTreeWorkload::upsertOrDelete(CoreId c, std::uint64_t key)
 {
-    AtomicityBackend &be = backend();
-    be.begin(c);
-    if (deleteKey(c, key)) {
-        be.commit(c);
+    bool deleted = false;
+    std::uint64_t v = 0;
+    runTx(c, [&] {
+        deleted = deleteKey(c, key);
+        if (!deleted) {
+            v = key * 5 + 11 + opCounter_;
+            insertKey(c, key, v);
+        }
+    });
+    if (deleted)
         reference_.erase(key);
-    } else {
-        const std::uint64_t v = key * 5 + 11 + opCounter_;
-        insertKey(c, key, v);
-        be.commit(c);
+    else
         reference_[key] = v;
-    }
     ++opCounter_;
 }
 

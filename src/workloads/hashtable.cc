@@ -78,34 +78,39 @@ HashWorkload::lookup(CoreId core, std::uint64_t key, std::uint64_t *value)
 void
 HashWorkload::upsertOrDelete(CoreId core, std::uint64_t key)
 {
-    AtomicityBackend &be = backend();
-    be.begin(core);
+    Addr victim = 0;
+    std::uint64_t value = 0;
+    runTx(core, [&] {
+        victim = 0;
 
-    // Search the chain, remembering the predecessor link.
-    Addr prev_link = bucketAddr(key);
-    Addr node = heap_.load64(core, prev_link);
-    while (node != 0 && heap_.load64(core, node + kKeyOff) != key) {
-        prev_link = node + kNextOff;
-        node = heap_.load64(core, node + kNextOff);
-    }
+        // Search the chain, remembering the predecessor link.
+        Addr prev_link = bucketAddr(key);
+        Addr node = heap_.load64(core, prev_link);
+        while (node != 0 && heap_.load64(core, node + kKeyOff) != key) {
+            prev_link = node + kNextOff;
+            node = heap_.load64(core, node + kNextOff);
+        }
 
-    if (node != 0) {
-        // Found: delete by unlinking.
-        const Addr next = heap_.load64(core, node + kNextOff);
-        heap_.store64(core, prev_link, next);
-        be.commit(core);
-        alloc_.free(node, kNodeSize);
+        if (node != 0) {
+            // Found: delete by unlinking.
+            const Addr next = heap_.load64(core, node + kNextOff);
+            heap_.store64(core, prev_link, next);
+            victim = node;
+        } else {
+            // Absent: insert at the head of the bucket.
+            value = key * 3 + 1 + opCounter_;
+            const Addr fresh = alloc_.allocate(kNodeSize, kLineSize);
+            const Addr head = heap_.load64(core, bucketAddr(key));
+            heap_.store64(core, fresh + kKeyOff, key);
+            heap_.store64(core, fresh + kValOff, value);
+            heap_.store64(core, fresh + kNextOff, head);
+            heap_.store64(core, bucketAddr(key), fresh);
+        }
+    });
+    if (victim != 0) {
+        alloc_.free(victim, kNodeSize);
         reference_.erase(key);
     } else {
-        // Absent: insert at the head of the bucket.
-        const std::uint64_t value = key * 3 + 1 + opCounter_;
-        const Addr fresh = alloc_.allocate(kNodeSize, kLineSize);
-        const Addr head = heap_.load64(core, bucketAddr(key));
-        heap_.store64(core, fresh + kKeyOff, key);
-        heap_.store64(core, fresh + kValOff, value);
-        heap_.store64(core, fresh + kNextOff, head);
-        heap_.store64(core, bucketAddr(key), fresh);
-        be.commit(core);
         reference_[key] = value;
     }
     ++opCounter_;

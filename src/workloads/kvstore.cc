@@ -103,69 +103,80 @@ KvStoreWorkload::lruUnlink(CoreId core, Addr item)
 }
 
 void
-KvStoreWorkload::unlinkItem(CoreId core, std::uint64_t key, Addr item,
-                            Addr prev_link)
+KvStoreWorkload::unlinkItem(CoreId core, Addr item, Addr prev_link)
 {
     heap_.store64(core, prev_link, heap_.load64(core, item + kNextOff));
     lruUnlink(core, item);
-    reference_.erase(key);
 }
 
 void
 KvStoreWorkload::set(CoreId core, std::uint64_t key)
 {
-    AtomicityBackend &be = backend();
-    be.begin(core);
-    ++seq_;
+    // The stamp this SET publishes; host state (seq_, reference_) is
+    // only updated after the transaction survives validation, so an
+    // aborted attempt replays with identical values.
+    const std::uint64_t stamp = seq_ + 1;
+    bool replaced = false;
+    std::vector<std::pair<Addr, std::uint64_t>> freed; ///< {item, key}
 
-    Addr prev_link = 0;
-    Addr item = findItem(core, key, &prev_link);
-    if (item != 0) {
-        // Replace in place: bump the sequence stamp and rewrite the
-        // payload; move to the LRU front.
-        heap_.store64(core, item + kSeqOff, seq_);
-        std::vector<std::uint8_t> payload(params_.valueBytes,
-                                          static_cast<std::uint8_t>(seq_));
-        heap_.storeBytes(core, item + kValueOff, payload.data(),
+    runTx(core, [&] {
+        replaced = false;
+        freed.clear();
+
+        Addr prev_link = 0;
+        Addr item = findItem(core, key, &prev_link);
+        if (item != 0) {
+            // Replace in place: bump the sequence stamp and rewrite
+            // the payload; move to the LRU front.
+            heap_.store64(core, item + kSeqOff, stamp);
+            std::vector<std::uint8_t> payload(
+                params_.valueBytes, static_cast<std::uint8_t>(stamp));
+            heap_.storeBytes(core, item + kValueOff, payload.data(),
+                             payload.size());
+            lruUnlink(core, item);
+            lruPushFront(core, item);
+            replaced = true;
+            return;
+        }
+
+        // Insert a fresh item.
+        const Addr fresh = alloc_.allocate(itemSize(), kLineSize);
+        heap_.store64(core, fresh + kKeyOff, key);
+        heap_.store64(core, fresh + kSeqOff, stamp);
+        std::vector<std::uint8_t> payload(
+            params_.valueBytes, static_cast<std::uint8_t>(stamp));
+        heap_.storeBytes(core, fresh + kValueOff, payload.data(),
                          payload.size());
-        lruUnlink(core, item);
-        lruPushFront(core, item);
-        reference_[key] = seq_;
-        be.commit(core);
+        const Addr head = heap_.load64(core, bucketAddr(key));
+        heap_.store64(core, fresh + kNextOff, head);
+        heap_.store64(core, bucketAddr(key), fresh);
+        lruPushFront(core, fresh);
+
+        // Evict from the LRU tail when over budget (still the same
+        // durable transaction — memcached SET is one atomic
+        // operation).  reference_ does not yet include this insert.
+        std::uint64_t resident = reference_.size() + 1;
+        while (resident > params_.capacity) {
+            const Addr victim = heap_.load64(core, lruTailAddr_);
+            ssp_assert(victim != 0, "LRU empty while over capacity");
+            const std::uint64_t vkey =
+                heap_.load64(core, victim + kKeyOff);
+            Addr vprev_link = 0;
+            const Addr found = findItem(core, vkey, &vprev_link);
+            ssp_assert(found == victim, "LRU tail not in its hash chain");
+            unlinkItem(core, victim, vprev_link);
+            freed.emplace_back(victim, vkey);
+            --resident;
+        }
+    });
+
+    seq_ = stamp;
+    reference_[key] = stamp;
+    if (replaced)
         return;
-    }
-
-    // Insert a fresh item.
-    const Addr fresh = alloc_.allocate(itemSize(), kLineSize);
-    heap_.store64(core, fresh + kKeyOff, key);
-    heap_.store64(core, fresh + kSeqOff, seq_);
-    std::vector<std::uint8_t> payload(params_.valueBytes,
-                                      static_cast<std::uint8_t>(seq_));
-    heap_.storeBytes(core, fresh + kValueOff, payload.data(),
-                     payload.size());
-    const Addr head = heap_.load64(core, bucketAddr(key));
-    heap_.store64(core, fresh + kNextOff, head);
-    heap_.store64(core, bucketAddr(key), fresh);
-    lruPushFront(core, fresh);
-    reference_[key] = seq_;
-
-    // Evict from the LRU tail when over budget (still the same durable
-    // transaction — memcached SET is one atomic operation).
-    std::vector<std::pair<Addr, std::uint64_t>> freed;
-    while (reference_.size() > params_.capacity) {
-        const Addr victim = heap_.load64(core, lruTailAddr_);
-        ssp_assert(victim != 0, "LRU empty while over capacity");
-        const std::uint64_t vkey = heap_.load64(core, victim + kKeyOff);
-        Addr vprev_link = 0;
-        const Addr found = findItem(core, vkey, &vprev_link);
-        ssp_assert(found == victim, "LRU tail not in its hash chain");
-        unlinkItem(core, vkey, victim, vprev_link);
-        freed.emplace_back(victim, vkey);
-        ++evictions_;
-    }
-    be.commit(core);
+    evictions_ += freed.size();
     for (auto [addr, k] : freed) {
-        (void)k;
+        reference_.erase(k);
         alloc_.free(addr, itemSize());
     }
 }

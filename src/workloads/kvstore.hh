@@ -72,8 +72,7 @@ class KvStoreWorkload : public Workload
     Addr findItem(CoreId core, std::uint64_t key, Addr *prev_link);
 
     /** Unlink from hash chain + LRU (inside the caller's tx). */
-    void unlinkItem(CoreId core, std::uint64_t key, Addr item,
-                    Addr prev_link);
+    void unlinkItem(CoreId core, Addr item, Addr prev_link);
 
     /** LRU helpers (inside the caller's tx). */
     void lruPushFront(CoreId core, Addr item);

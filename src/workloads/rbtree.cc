@@ -239,41 +239,46 @@ RbTreeWorkload::deleteFixup(CoreId c, Addr x, Addr x_parent)
 void
 RbTreeWorkload::upsertOrDelete(CoreId c, std::uint64_t k)
 {
-    AtomicityBackend &be = backend();
-    be.begin(c);
+    Addr victim = 0;
+    std::uint64_t v = 0;
+    runTx(c, [&] {
+        victim = 0;
 
-    // Search.
-    Addr node = root(c);
-    Addr last = 0;
-    while (node != 0) {
-        last = node;
-        const std::uint64_t nk = key(c, node);
-        if (nk == k)
-            break;
-        node = k < nk ? left(c, node) : right(c, node);
-    }
+        // Search.
+        Addr node = root(c);
+        Addr last = 0;
+        while (node != 0) {
+            last = node;
+            const std::uint64_t nk = key(c, node);
+            if (nk == k)
+                break;
+            node = k < nk ? left(c, node) : right(c, node);
+        }
 
-    if (node != 0) {
-        deleteNode(c, node);
-        be.commit(c);
-        alloc_.free(node, kNodeSize);
+        if (node != 0) {
+            deleteNode(c, node);
+            victim = node;
+        } else {
+            v = k * 7 + 3 + opCounter_;
+            const Addr fresh = alloc_.allocate(kNodeSize, kLineSize);
+            setKey(c, fresh, k);
+            setVal(c, fresh, v);
+            setLeft(c, fresh, 0);
+            setRight(c, fresh, 0);
+            setParentAndColor(c, fresh, last, true);
+            if (last == 0)
+                setRoot(c, fresh);
+            else if (k < key(c, last))
+                setLeft(c, last, fresh);
+            else
+                setRight(c, last, fresh);
+            insertFixup(c, fresh);
+        }
+    });
+    if (victim != 0) {
+        alloc_.free(victim, kNodeSize);
         reference_.erase(k);
     } else {
-        const std::uint64_t v = k * 7 + 3 + opCounter_;
-        const Addr fresh = alloc_.allocate(kNodeSize, kLineSize);
-        setKey(c, fresh, k);
-        setVal(c, fresh, v);
-        setLeft(c, fresh, 0);
-        setRight(c, fresh, 0);
-        setParentAndColor(c, fresh, last, true);
-        if (last == 0)
-            setRoot(c, fresh);
-        else if (k < key(c, last))
-            setLeft(c, last, fresh);
-        else
-            setRight(c, last, fresh);
-        insertFixup(c, fresh);
-        be.commit(c);
         reference_[k] = v;
     }
     ++opCounter_;

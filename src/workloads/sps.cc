@@ -39,13 +39,12 @@ SpsWorkload::runOp(CoreId core)
     if (a == b)
         b = (b + 1) % numElements_;
 
-    AtomicityBackend &be = backend();
-    be.begin(core);
-    const std::uint64_t va = heap_.load64(core, elemAddr(a));
-    const std::uint64_t vb = heap_.load64(core, elemAddr(b));
-    heap_.store64(core, elemAddr(a), vb);
-    heap_.store64(core, elemAddr(b), va);
-    be.commit(core);
+    runTx(core, [&] {
+        const std::uint64_t va = heap_.load64(core, elemAddr(a));
+        const std::uint64_t vb = heap_.load64(core, elemAddr(b));
+        heap_.store64(core, elemAddr(a), vb);
+        heap_.store64(core, elemAddr(b), va);
+    });
 
     std::swap(reference_[a], reference_[b]);
 }

@@ -120,58 +120,70 @@ VacationWorkload::findCustomer(CoreId c, std::uint64_t id)
 void
 VacationWorkload::runOp(CoreId core)
 {
-    AtomicityBackend &be = backend();
+    // All RNG draws happen before the transaction so an aborted
+    // attempt replays the identical query mix (same draw order and
+    // count as the original interleaved form).
     const std::uint64_t cust_id = rng_.nextBounded(params_.customers);
+    struct Query
+    {
+        unsigned table;
+        std::uint64_t id;
+    };
+    std::vector<Query> queries(params_.queriesPerTx);
+    for (Query &q : queries) {
+        q.table = static_cast<unsigned>(rng_.nextBounded(3));
+        q.id = rng_.nextBounded(params_.relations);
+    }
 
-    be.begin(core);
-
-    const Addr cust = findCustomer(core, cust_id);
-    ssp_assert(cust != 0, "customer disappeared");
-
-    // Query phase: examine several resources, remember the cheapest
-    // available one (reads only — the bulk of the transaction).
     Addr best = 0;
-    std::uint64_t best_price = ~std::uint64_t{0};
+    std::uint64_t best_price = 0;
     unsigned best_table = 0;
     std::uint64_t best_id = 0;
-    for (unsigned q = 0; q < params_.queriesPerTx; ++q) {
-        const unsigned table = static_cast<unsigned>(rng_.nextBounded(3));
-        const std::uint64_t id = rng_.nextBounded(params_.relations);
-        const Addr rec = findResource(core, table, id);
-        if (rec == 0)
-            continue;
-        const std::uint64_t price = heap_.load64(core, rec + 8);
-        const std::uint64_t free_seats = heap_.load64(core, rec + 24);
-        if (free_seats > 0 && price < best_price) {
-            best = rec;
-            best_price = price;
-            best_table = table;
-            best_id = id;
+
+    runTx(core, [&] {
+        const Addr cust = findCustomer(core, cust_id);
+        ssp_assert(cust != 0, "customer disappeared");
+
+        // Query phase: examine several resources, remember the
+        // cheapest available one (reads only — the bulk of the
+        // transaction).
+        best = 0;
+        best_price = ~std::uint64_t{0};
+        for (const Query &q : queries) {
+            const Addr rec = findResource(core, q.table, q.id);
+            if (rec == 0)
+                continue;
+            const std::uint64_t price = heap_.load64(core, rec + 8);
+            const std::uint64_t free_seats = heap_.load64(core, rec + 24);
+            if (free_seats > 0 && price < best_price) {
+                best = rec;
+                best_price = price;
+                best_table = q.table;
+                best_id = q.id;
+            }
         }
-    }
 
-    if (best == 0) {
         // Nothing available: read-only transaction.
-        be.commit(core);
+        if (best == 0)
+            return;
+
+        // Update phase: take a seat, append a reservation record, bill.
+        const std::uint64_t free_seats = heap_.load64(core, best + 24);
+        heap_.store64(core, best + 24, free_seats - 1);
+
+        const Addr rsv = alloc_.allocate(kRsvSize, 8);
+        const Addr rsv_head = heap_.load64(core, cust + 16);
+        heap_.store64(core, rsv + 0, best);
+        heap_.store64(core, rsv + 8, best_price);
+        heap_.store64(core, rsv + 16, rsv_head);
+        heap_.store64(core, cust + 16, rsv);
+
+        const std::uint64_t bill = heap_.load64(core, cust + 8);
+        heap_.store64(core, cust + 8, bill + best_price);
+    });
+
+    if (best == 0)
         return;
-    }
-
-    // Update phase: take one seat, append a reservation record, bill.
-    const std::uint64_t free_seats = heap_.load64(core, best + 24);
-    heap_.store64(core, best + 24, free_seats - 1);
-
-    const Addr rsv = alloc_.allocate(kRsvSize, 8);
-    const Addr rsv_head = heap_.load64(core, cust + 16);
-    heap_.store64(core, rsv + 0, best);
-    heap_.store64(core, rsv + 8, best_price);
-    heap_.store64(core, rsv + 16, rsv_head);
-    heap_.store64(core, cust + 16, rsv);
-
-    const std::uint64_t bill = heap_.load64(core, cust + 8);
-    heap_.store64(core, cust + 8, bill + best_price);
-
-    be.commit(core);
-
     freeModel_[modelKey(best_table, best_id)] -= 1;
     billModel_[cust_id] += best_price;
     ++reservations_;

@@ -63,6 +63,44 @@ class Workload
 
   protected:
     /**
+     * Run one durable operation under concurrent conflict handling:
+     * begin, execute @p body, validate against peer commits that landed
+     * inside the transaction's window, and commit — or, on a conflict,
+     * roll back through the backend's abort machinery, charge the abort
+     * penalty plus exponential backoff, and re-execute.
+     *
+     * @p body must be re-executable: all persistent state is restored
+     * by the abort path, so host-side effects (reference-model updates,
+     * RNG draws) belong before or after runTx, never inside the body.
+     * Allocations made by an aborted attempt leak address space only —
+     * the allocator is volatile host metadata (see PersistAlloc).
+     *
+     * With one core (or detection disabled) validation always passes
+     * and this is exactly the old begin/body/commit sequence.
+     */
+    template <typename BodyFn>
+    void
+    runTx(CoreId core, BodyFn &&body)
+    {
+        AtomicityBackend &be = backend();
+        Machine &m = be.machine();
+        ConflictManager &cm = m.conflicts();
+        for (unsigned attempt = 1;; ++attempt) {
+            be.begin(core);
+            body();
+            if (cm.validate(core, m.clock(core))) {
+                be.commit(core);
+                return;
+            }
+            be.abort(core);
+            m.clock(core) += cm.retryPenalty(core, attempt);
+            // Each retry begins after its abort point, so any logged
+            // peer commit can defeat it at most once.
+            ssp_assert(attempt < 1000, "conflict retry livelock");
+        }
+    }
+
+    /**
      * Map a drawn key into @p core's shard of [0, key_space).  Identity
      * when sharding is off, so single-core streams are untouched.
      */

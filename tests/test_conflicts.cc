@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Concurrent-transaction conflict handling: first-committer-wins
+ * window semantics, write-write vs read-write classification, the lazy
+ * validation mode, rollback of conflicting transactions through each
+ * backend's abort machinery, retry accounting in RunResult, sweep
+ * determinism across worker counts, and single-core bit-identity
+ * against the checked-in smoke report.
+ */
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/undo_log.hh"
+#include "core/conflict_manager.hh"
+#include "sim/driver.hh"
+#include "sim/system_builder.hh"
+#include "sweep/sweep_runner.hh"
+#include "tests/test_helpers.hh"
+
+namespace ssp::test
+{
+namespace
+{
+
+using sweep::buildFigureGrid;
+using sweep::CellResult;
+using sweep::runSweep;
+using sweep::SweepGridOptions;
+using sweep::sweepReport;
+
+// ---- ConflictManager unit tests -----------------------------------------
+
+TEST(ConflictManager, WriteWriteConflictInsideTheWindow)
+{
+    ConflictManager cm(2, ConflictParams{});
+    const Addr x = lineAddr(3, 0);
+
+    cm.beginTx(1, 0); // core 1 opens its window at cycle 0
+    cm.recordWrite(1, x);
+
+    cm.beginTx(0, 0);
+    cm.recordWrite(0, x);
+    EXPECT_TRUE(cm.validate(0, 10)); // nobody committed yet
+    cm.commitTx(0, 10, 0);           // core 0 commits at cycle 10
+
+    // Core 0's commit lands inside core 1's [0, 20] window and both
+    // wrote line x: first committer wins, core 1 must abort.
+    EXPECT_FALSE(cm.validate(1, 20));
+    EXPECT_EQ(cm.stats().writeWriteConflicts, 1u);
+    EXPECT_EQ(cm.stats().readWriteConflicts, 0u);
+}
+
+TEST(ConflictManager, ReadWriteConflictInsideTheWindow)
+{
+    ConflictManager cm(2, ConflictParams{});
+    const Addr x = lineAddr(3, 0);
+
+    cm.beginTx(1, 0);
+    cm.recordRead(1, x + 8); // same line, different offset
+    cm.recordWrite(1, lineAddr(4, 0));
+
+    cm.beginTx(0, 0);
+    cm.recordWrite(0, x);
+    cm.commitTx(0, 10, 0);
+
+    EXPECT_FALSE(cm.validate(1, 20));
+    EXPECT_EQ(cm.stats().readWriteConflicts, 1u);
+    EXPECT_EQ(cm.stats().writeWriteConflicts, 0u);
+}
+
+TEST(ConflictManager, CommitBeforeTheWindowDoesNotConflict)
+{
+    ConflictManager cm(2, ConflictParams{});
+    const Addr x = lineAddr(3, 0);
+
+    cm.beginTx(0, 0);
+    cm.recordWrite(0, x);
+    cm.commitTx(0, 10, 0);
+
+    // Core 1 begins after core 0's commit completed: no overlap.
+    cm.beginTx(1, 15);
+    cm.recordWrite(1, x);
+    EXPECT_TRUE(cm.validate(1, 30));
+}
+
+TEST(ConflictManager, LaterCommitLosesToTheEarlierValidator)
+{
+    ConflictManager cm(2, ConflictParams{});
+    const Addr x = lineAddr(3, 0);
+
+    cm.beginTx(1, 0);
+    cm.recordWrite(1, x);
+
+    cm.beginTx(0, 0);
+    cm.recordWrite(0, x);
+    cm.commitTx(0, 50, 0); // core 0 is slow: commits at cycle 50
+
+    // Core 1 validates at cycle 20 < 50: in simulated time core 1 is
+    // the first committer and wins.
+    EXPECT_TRUE(cm.validate(1, 20));
+}
+
+TEST(ConflictManager, LazyModeIgnoresWriteWriteOverlap)
+{
+    ConflictParams params;
+    params.validation = ConflictValidation::Lazy;
+    ConflictManager cm(2, params);
+    const Addr x = lineAddr(3, 0);
+    const Addr y = lineAddr(4, 0);
+
+    cm.beginTx(1, 0);
+    cm.recordWrite(1, x); // blind write: no read of x
+
+    cm.beginTx(0, 0);
+    cm.recordWrite(0, x);
+    cm.commitTx(0, 10, 0);
+
+    // Write-write resolves by commit order under lazy versioning.
+    EXPECT_TRUE(cm.validate(1, 20));
+
+    // A read of the peer-written line still aborts.
+    cm.commitTx(1, 20, 0);
+    cm.beginTx(1, 20);
+    cm.recordRead(1, y);
+    cm.beginTx(0, 20);
+    cm.recordWrite(0, y);
+    cm.commitTx(0, 30, 0);
+    EXPECT_FALSE(cm.validate(1, 40));
+    EXPECT_EQ(cm.stats().readWriteConflicts, 1u);
+}
+
+TEST(ConflictManager, DisabledOnASingleCore)
+{
+    ConflictManager cm(1, ConflictParams{});
+    EXPECT_FALSE(cm.enabled());
+    cm.beginTx(0, 0);
+    cm.recordWrite(0, lineAddr(3, 0));
+    EXPECT_EQ(cm.writeSetSize(0), 0u); // recording is a no-op
+    EXPECT_TRUE(cm.validate(0, 100));
+    cm.commitTx(0, 100, 0);
+    EXPECT_EQ(cm.logSize(), 0u);
+}
+
+TEST(ConflictManager, RetryPenaltyBacksOffExponentiallyWithACap)
+{
+    ConflictParams params;
+    params.abortPenalty = 10;
+    params.backoffBase = 4;
+    params.backoffCapDoublings = 2;
+    ConflictManager cm(2, params);
+
+    EXPECT_EQ(cm.retryPenalty(0, 1), 10u + 4u);
+    EXPECT_EQ(cm.retryPenalty(0, 2), 10u + 8u);
+    EXPECT_EQ(cm.retryPenalty(0, 3), 10u + 16u);
+    EXPECT_EQ(cm.retryPenalty(0, 4), 10u + 16u); // capped
+    EXPECT_EQ(cm.stats().aborts, 4u);
+    EXPECT_EQ(cm.stats().retries, 4u);
+    EXPECT_EQ(cm.stats().backoffCycles, 4u + 8u + 16u + 16u);
+}
+
+TEST(ConflictManager, CommitLogIsPrunedBelowEveryReachableWindow)
+{
+    ConflictManager cm(2, ConflictParams{});
+    cm.beginTx(0, 0);
+    cm.recordWrite(0, lineAddr(3, 0));
+    cm.commitTx(0, 10, 0); // min core clock 0: record must stay
+    EXPECT_EQ(cm.logSize(), 1u);
+
+    cm.beginTx(0, 20);
+    cm.recordWrite(0, lineAddr(4, 0));
+    // Every core clock is at 20 now: the cycle-10 record can never
+    // fall inside a future window again.
+    cm.commitTx(0, 25, 20);
+    EXPECT_EQ(cm.logSize(), 1u); // only the cycle-25 record survives
+}
+
+TEST(ConflictManager, AbortClearsTheInFlightFootprint)
+{
+    ConflictManager cm(2, ConflictParams{});
+    cm.beginTx(0, 0);
+    cm.recordRead(0, lineAddr(3, 0));
+    cm.recordWrite(0, lineAddr(4, 0));
+    EXPECT_TRUE(cm.inTx(0));
+    cm.abortTx(0);
+    EXPECT_FALSE(cm.inTx(0));
+    EXPECT_EQ(cm.readSetSize(0), 0u);
+    EXPECT_EQ(cm.writeSetSize(0), 0u);
+    cm.abortTx(0); // idempotent
+    EXPECT_EQ(cm.logSize(), 0u);
+}
+
+// ---- rollback through the backend abort machinery -----------------------
+
+/**
+ * Drive the exact sequence Workload::runTx models, with explicit
+ * validation times: core 1 opens a transaction, core 0 commits a
+ * conflicting write inside core 1's window, and core 1 must abort,
+ * restore the pre-transaction image, and succeed on retry.
+ */
+template <typename Backend>
+void
+conflictRollbackRoundTrip(Backend &be)
+{
+    Machine &m = be.machine();
+    ConflictManager &cm = m.conflicts();
+    const Addr addr = pageBase(2) + 16;
+    txWrite64(be, 0, addr, 1); // committed pre-state
+
+    be.begin(1); // core 1's window opens first
+    txWrite64(be, 0, addr, 2); // peer commit lands inside the window
+    std::uint64_t v = 3;
+    be.store(1, addr, &v, sizeof(v));
+    EXPECT_EQ(timed64(be, 1, addr), 3u); // sees its own speculation
+
+    // Validation at a point after the peer commit: core 1 loses.
+    ASSERT_FALSE(cm.validate(1, m.maxClock()));
+    be.abort(1);
+    m.clock(1) += cm.retryPenalty(1, 1);
+
+    // The abort restored the last committed image.
+    EXPECT_EQ(raw64(be, addr), 2u);
+
+    // The retry re-executes and commits cleanly: its window starts
+    // after the conflicting commit.
+    m.syncClocks();
+    be.begin(1);
+    v = 3;
+    be.store(1, addr, &v, sizeof(v));
+    ASSERT_TRUE(cm.validate(1, m.clock(1)));
+    be.commit(1);
+    EXPECT_EQ(raw64(be, addr), 3u);
+    EXPECT_EQ(cm.stats().aborts, 1u);
+    EXPECT_EQ(cm.stats().retries, 1u);
+}
+
+TEST(ConflictRollback, SspCowFlipMachineryRestoresTheImage)
+{
+    SspSystem sys(smallConfig(2));
+    conflictRollbackRoundTrip(sys);
+}
+
+TEST(ConflictRollback, UndoLogRollbackRestoresTheImage)
+{
+    UndoLogBackend be(smallConfig(2));
+    conflictRollbackRoundTrip(be);
+}
+
+TEST(ConflictRollback, SspWriteSetMirrorsTheTxBitTaggedLines)
+{
+    // The conflict write set is the virtual-line view of exactly the
+    // speculative lines the hierarchy tags with the TX bit.
+    SspSystem sys(smallConfig(2));
+    Machine &m = sys.machine();
+    ConflictManager &cm = m.conflicts();
+    const Addr addr = pageBase(3) + 24;
+    txWrite64(sys, 0, addr, 7);
+
+    sys.begin(1);
+    std::uint64_t v = 8;
+    sys.store(1, addr, &v, sizeof(v));
+    EXPECT_EQ(cm.writeSetSize(1), 1u);
+
+    SspCache &sc = sys.controller().cache();
+    const SlotId sid = sc.findSlot(pageOf(addr));
+    ASSERT_NE(sid, kInvalidSlot);
+    const SspCacheEntry &e = sc.entry(sid);
+    const unsigned li = lineIndexInPage(addr);
+    const Addr spec = lineAddr(e.current.test(li) ? e.ppn1 : e.ppn0, li);
+    EXPECT_TRUE(m.caches().txBitSet(1, spec));
+
+    sys.abort(1);
+    EXPECT_EQ(cm.writeSetSize(1), 0u);
+    EXPECT_FALSE(m.caches().txBitSet(1, spec));
+    EXPECT_EQ(raw64(sys, addr), 7u);
+}
+
+// ---- end-to-end: driver, counters, reports ------------------------------
+
+/** A contended 2-core Zipf cell that deterministically conflicts. */
+RunResult
+contendedRun(sweep::ConflictMode mode)
+{
+    SweepGridOptions opts;
+    opts.coreCounts = {2};
+    opts.backends = {BackendKind::UndoLog};
+    opts.workloads = {WorkloadKind::BTreeZipf};
+    opts.conflictMode = mode;
+    const auto cells = buildFigureGrid("scale", opts);
+    const auto results = runSweep(cells, 1);
+    EXPECT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    return results[0].run;
+}
+
+TEST(ConflictEndToEnd, ZipfContentionProducesAbortsAndRetries)
+{
+    const RunResult run = contendedRun(
+        sweep::ConflictMode::FirstCommitterWins);
+    EXPECT_GT(run.txAborts, 0u);
+    EXPECT_EQ(run.txRetries, run.txAborts);
+    EXPECT_EQ(run.conflictsWriteWrite + run.conflictsReadWrite,
+              run.txAborts);
+    EXPECT_GT(run.backoffCycles, 0u);
+    // Every transaction still commits exactly once.
+    EXPECT_EQ(run.committedTxs, 400u);
+    EXPECT_EQ(run.backend, std::string("UNDO-LOG"));
+}
+
+TEST(ConflictEndToEnd, DisablingDetectionRemovesAbortsOnly)
+{
+    const RunResult off = contendedRun(sweep::ConflictMode::Off);
+    EXPECT_EQ(off.txAborts, 0u);
+    EXPECT_EQ(off.backoffCycles, 0u);
+    EXPECT_EQ(off.committedTxs, 400u);
+
+    // The functional work is identical; only abort/retry timing is
+    // added by detection.
+    const RunResult fcw = contendedRun(
+        sweep::ConflictMode::FirstCommitterWins);
+    EXPECT_EQ(fcw.committedTxs, off.committedTxs);
+    EXPECT_GE(fcw.cycles, off.cycles);
+}
+
+TEST(ConflictEndToEnd, LazyValidationAbortsAtMostAsOftenAsEager)
+{
+    const RunResult fcw = contendedRun(
+        sweep::ConflictMode::FirstCommitterWins);
+    const RunResult lazy = contendedRun(sweep::ConflictMode::Lazy);
+    EXPECT_LE(lazy.txAborts, fcw.txAborts);
+    EXPECT_EQ(lazy.conflictsWriteWrite, 0u);
+}
+
+TEST(ConflictEndToEnd, ContendedRunStaysFunctionallyCorrect)
+{
+    WorkloadScale scale;
+    scale.keySpace = 256;
+    scale.seed = 11;
+    Experiment exp = buildExperiment(BackendKind::Ssp,
+                                     WorkloadKind::HashZipf,
+                                     smallConfig(4), scale);
+    RunResult res = runExperiment(exp, 240, 4);
+    EXPECT_TRUE(exp.workload->verify());
+    EXPECT_EQ(res.committedTxs, 240u);
+}
+
+TEST(ConflictEndToEnd, AbortCountersAreDeterministicAcrossJobs)
+{
+    SweepGridOptions opts;
+    opts.coreCounts = {2, 4};
+    opts.backends = {BackendKind::UndoLog, BackendKind::Ssp};
+    opts.workloads = {WorkloadKind::BTreeZipf, WorkloadKind::HashZipf};
+    const auto cells = buildFigureGrid("scale", opts);
+    ASSERT_EQ(cells.size(), 2u * 2u * 2u);
+
+    const std::vector<CellResult> serial = runSweep(cells, 1);
+    const std::vector<CellResult> parallel = runSweep(cells, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    std::uint64_t total_aborts = 0;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        const RunResult &a = serial[i].run;
+        const RunResult &b = parallel[i].run;
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.txAborts, b.txAborts);
+        EXPECT_EQ(a.txRetries, b.txRetries);
+        EXPECT_EQ(a.conflictsWriteWrite, b.conflictsWriteWrite);
+        EXPECT_EQ(a.conflictsReadWrite, b.conflictsReadWrite);
+        EXPECT_EQ(a.backoffCycles, b.backoffCycles);
+        total_aborts += a.txAborts;
+    }
+    EXPECT_GT(total_aborts, 0u);
+}
+
+TEST(ConflictEndToEnd, SingleCoreCellsMatchTheCheckedInSmokeReport)
+{
+    // The acceptance bar: with conflict handling in the tree, the
+    // single-core model must reproduce the checked-in smoke report bit
+    // for bit (no recording, no validation, no timing drift).
+    std::ifstream in(std::string(SSP_SOURCE_DIR) + "/BENCH_smoke.json");
+    ASSERT_TRUE(in) << "checked-in BENCH_smoke.json missing";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const Json checked_in = Json::parse(buf.str());
+
+    const auto cells = buildFigureGrid("smoke");
+    const auto results = runSweep(cells, 1);
+    const Json report = sweepReport("smoke", results);
+
+    ASSERT_EQ(report["cells"].size(), checked_in["cells"].size());
+    const Json &want = checked_in["cells"].at(0);
+    const Json &got = report["cells"].at(0);
+    EXPECT_EQ(got["seed"].asString(), want["seed"].asString());
+    EXPECT_EQ(got["metrics"].dump(2), want["metrics"].dump(2));
+}
+
+} // namespace
+} // namespace ssp::test

@@ -188,7 +188,7 @@ TEST(Multicore, ScaleGridSpsSspCellReplaysTheSmokeStream)
     const auto smoke = buildFigureGrid("smoke");
     ASSERT_EQ(smoke.size(), 1u);
     const auto scale = buildFigureGrid("scale");
-    ASSERT_EQ(scale.size(), 4u * 5u * 3u);
+    ASSERT_EQ(scale.size(), 4u * 6u * 3u);
 
     // Ordinal 0 of every core count is (SPS, SSP); at one core it is
     // the smoke cell — same machine, seed, scale and transaction count.

@@ -74,8 +74,8 @@ TEST(SweepGrid, FigureShapesMatchTheBenches)
     EXPECT_EQ(buildFigureGrid("fig9").size(), 7u + 5u * 7u);
     // table3: SSP across all nine workloads.
     EXPECT_EQ(buildFigureGrid("table3").size(), 9u);
-    // scale: 4 core counts x 5 workloads x 3 designs.
-    EXPECT_EQ(buildFigureGrid("scale").size(), 4u * 5u * 3u);
+    // scale: 4 core counts x 6 workloads x 3 designs.
+    EXPECT_EQ(buildFigureGrid("scale").size(), 4u * 6u * 3u);
     EXPECT_EQ(buildFigureGrid("smoke").size(), 1u);
 }
 
@@ -301,6 +301,30 @@ TEST(SweepReport, JsonParserHandlesEscapesAndNesting)
     EXPECT_THROW(Json::parse("[nan]"), std::runtime_error);
     EXPECT_THROW(Json::parse("[+1]"), std::runtime_error);
     EXPECT_THROW(Json::parse("[0x10]"), std::runtime_error);
+}
+
+TEST(SweepCli, CountListParsesValidInput)
+{
+    EXPECT_EQ(parseCountList("--cores", "1,2,4,8"),
+              (std::vector<unsigned>{1, 2, 4, 8}));
+    EXPECT_EQ(parseCountList("--channels", "64"),
+              (std::vector<unsigned>{64}));
+}
+
+TEST(SweepCli, EmptyOrInvalidCountListIsFatalNotASilentDefault)
+{
+    // An empty list must never fall back to the grid default: the
+    // sweep CLI exits non-zero instead of "succeeding" on a grid the
+    // caller did not ask for.
+    EXPECT_THROW(parseCountList("--cores", ""), std::runtime_error);
+    EXPECT_THROW(parseCountList("--cores", ",,,"), std::runtime_error);
+    EXPECT_THROW(parseCountList("--cores", "0"), std::runtime_error);
+    EXPECT_THROW(parseCountList("--cores", "65"), std::runtime_error);
+    EXPECT_THROW(parseCountList("--cores", "4x"), std::runtime_error);
+    EXPECT_THROW(parseCountList("--channels", "two"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCountList("--channels", "1,,x"),
+                 std::runtime_error);
 }
 
 } // namespace
