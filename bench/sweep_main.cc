@@ -34,15 +34,16 @@ usage(int exit_code)
         "usage: sweep_main --figure <name> [options]\n"
         "\n"
         "  --figure NAME      grid to run: fig5 fig6 fig7 fig8 fig9\n"
-        "                     table3 table45 chan scale smoke (required)\n"
+        "                     table3 table45 chan scale scale64 smoke\n"
+        "                     (required)\n"
         "  --backends LIST    comma-separated subset of ssp,undo,redo,\n"
         "                     shadow (default: the figure's own set)\n"
         "  --workloads LIST   comma-separated subset of Table 3 names\n"
         "                     (e.g. BTree-Rand,SPS; default: all)\n"
         "  --channels LIST    chan grid: NVRAM channel counts to sweep\n"
         "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
-        "  --cores LIST       scale grid: core counts to sweep\n"
-        "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
+        "  --cores LIST       scale/scale64 grids: core counts to sweep\n"
+        "                     (default: 1,2,4,8 / 1,2,4,8,16,32,64)\n"
         "  --conflict-mode M  concurrent-conflict handling: fcw\n"
         "                     (first-committer-wins, the default),\n"
         "                     lazy (read-set-only validation), off\n"
@@ -53,6 +54,10 @@ usage(int exit_code)
         "  --txs N            transactions per cell (default: figure)\n"
         "  --seed N           base RNG seed (default 42)\n"
         "  --json PATH        output path (default BENCH_<figure>.json)\n"
+        "  --time             emit host wall-clock times (host_ms per\n"
+        "                     cell, host_ms_total per grid) into the\n"
+        "                     JSON; off by default so checked-in\n"
+        "                     reports stay byte-stable\n"
         "  --quiet            suppress per-cell progress lines\n"
         "  --list             print known figures and exit\n");
     std::exit(exit_code);
@@ -64,6 +69,7 @@ struct CliArgs
     SweepGridOptions grid;
     unsigned jobs = 1;
     std::string jsonPath;
+    bool time = false;
     bool quiet = false;
 };
 
@@ -109,6 +115,8 @@ parseArgs(int argc, char **argv)
             args.grid.scale.seed = std::stoull(next_value(i));
         } else if (arg == "--json") {
             args.jsonPath = next_value(i);
+        } else if (arg == "--time") {
+            args.time = true;
         } else if (arg == "--quiet") {
             args.quiet = true;
         } else if (arg == "--list") {
@@ -135,10 +143,11 @@ parseArgs(int argc, char **argv)
                      args.figure.c_str());
         usage(2);
     }
-    if (!args.grid.coreCounts.empty() && args.figure != "scale") {
+    if (!args.grid.coreCounts.empty() && args.figure != "scale" &&
+        args.figure != "scale64") {
         std::fprintf(stderr,
-                     "--cores only applies to '--figure scale', not "
-                     "'%s'\n",
+                     "--cores only applies to '--figure scale' or "
+                     "'--figure scale64', not '%s'\n",
                      args.figure.c_str());
         usage(2);
     }
@@ -199,7 +208,7 @@ try {
     }
     std::printf("\n%s\n", table.render().c_str());
 
-    const Json report = sweepReport(args.figure, results);
+    const Json report = sweepReport(args.figure, results, args.time);
     std::ofstream out(args.jsonPath);
     if (!out) {
         std::fprintf(stderr, "cannot open '%s' for writing\n",

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json sweep reports cell by cell.
+
+Usage: perf_compare.py BASELINE.json CANDIDATE.json
+           [--threshold X] [--warn-only]
+
+Cells are matched by label (the intersection of the two reports, so a
+grown grid can still be compared against an older baseline).  Two
+independent checks run over the matched cells:
+
+ 1. Simulated metrics: `cycles` (and committed_txs) must be identical —
+    a host-side optimization must not move a single simulated cycle.
+    A mismatch is always an error, as is a cell that ran in the
+    baseline but failed (`ok: false`) in the candidate.
+
+ 2. Host wall-clock: when both sides carry `host_ms` (reports written
+    with `sweep_main --time`), per-cell and total speedups are printed
+    and any cell slower than `--threshold` x baseline (default 1.25)
+    is flagged as a regression.  Cells faster than 50 ms on both sides
+    are reported but never flagged: at that scale the numbers are
+    timer noise, not trajectory.
+
+Exit status: 1 on simulated-metric mismatches or (without --warn-only)
+host-time regressions; 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Below this many milliseconds on both sides a cell's host time is
+# dominated by allocator/timer noise; report it but never flag it.
+NOISE_FLOOR_MS = 50.0
+
+
+def load_cells(path):
+    """Returns (ok cells by label, all cells by label)."""
+    with open(path) as f:
+        doc = json.load(f)
+    ok, everything = {}, {}
+    for cell in doc.get("cells", []):
+        everything[cell["label"]] = cell
+        if cell.get("ok"):
+            ok[cell["label"]] = cell
+    return ok, everything
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="flag cells slower than this factor x baseline "
+                         "(default 1.25)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report host-time regressions but exit 0")
+    args = ap.parse_args()
+
+    base_cells, _ = load_cells(args.baseline)
+    cand_cells, cand_all = load_cells(args.candidate)
+    common = sorted(set(base_cells) & set(cand_cells))
+    if not common:
+        print("perf_compare: no common ok cells between "
+              f"{args.baseline} and {args.candidate}", file=sys.stderr)
+        return 1
+
+    metric_errors = []
+    # A cell that ran in the baseline but *failed* in the candidate is
+    # the worst kind of regression — it must not silently vanish from
+    # the intersection.  (Cells absent from the candidate entirely are
+    # fine: comparing a subset run against a full baseline is the
+    # normal CI usage.)
+    for label in sorted(set(base_cells) & set(cand_all)):
+        if label not in cand_cells:
+            metric_errors.append(
+                f"{label}: ok in baseline but FAILED in candidate: "
+                f"{cand_all[label].get('error', 'unknown error')}")
+    for label in common:
+        bm = base_cells[label].get("metrics", {})
+        cm = cand_cells[label].get("metrics", {})
+        for key in ("cycles", "committed_txs"):
+            if bm.get(key) != cm.get(key):
+                metric_errors.append(
+                    f"{label}: {key} {bm.get(key)} -> {cm.get(key)}")
+    if metric_errors:
+        print(f"SIMULATED-METRIC MISMATCH ({len(metric_errors)} cells):")
+        for err in metric_errors:
+            print(f"  {err}")
+    else:
+        print(f"simulated metrics identical across {len(common)} "
+              "common cells")
+
+    timed = [label for label in common
+             if "host_ms" in base_cells[label]
+             and "host_ms" in cand_cells[label]]
+    regressions = []
+    if timed:
+        base_total = sum(base_cells[l]["host_ms"] for l in timed)
+        cand_total = sum(cand_cells[l]["host_ms"] for l in timed)
+        print(f"\n{'cell':<44} {'base ms':>10} {'cand ms':>10} "
+              f"{'speedup':>8}")
+        for label in timed:
+            b = base_cells[label]["host_ms"]
+            c = cand_cells[label]["host_ms"]
+            speedup = b / c if c > 0 else float("inf")
+            mark = ""
+            if (c > args.threshold * b
+                    and (b >= NOISE_FLOOR_MS or c >= NOISE_FLOOR_MS)):
+                regressions.append(label)
+                mark = "  <-- REGRESSION"
+            print(f"{label:<44} {b:>10.2f} {c:>10.2f} "
+                  f"{speedup:>7.2f}x{mark}")
+        total_speedup = (base_total / cand_total
+                         if cand_total > 0 else float("inf"))
+        print(f"{'TOTAL':<44} {base_total:>10.2f} {cand_total:>10.2f} "
+              f"{total_speedup:>7.2f}x")
+        if regressions:
+            print(f"\n{len(regressions)} host-time regression(s) beyond "
+                  f"{args.threshold}x:")
+            for label in regressions:
+                print(f"  {label}")
+    else:
+        print("\nno common host_ms data (run sweep_main with --time on "
+              "both sides to compare host wall-clock)")
+
+    if metric_errors:
+        return 1
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

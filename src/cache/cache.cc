@@ -1,5 +1,6 @@
 #include "cache/cache.hh"
 
+#include "cache/sharer_index.hh"
 #include "common/logging.hh"
 
 namespace ssp
@@ -13,7 +14,14 @@ Cache::Cache(const CacheParams &params) : params_(params)
                "cache size must be a multiple of ways*line");
     numSets_ = num_lines / params.ways;
     ssp_assert(numSets_ > 0);
-    lines_.resize(num_lines);
+    numLines_ = num_lines;
+    // calloc: all-zero Lines are valid==false, and the OS hands back
+    // lazily-mapped zero pages — a 96 MiB L3's tag array costs nothing
+    // until its sets are actually filled (every sweep cell builds a
+    // fresh machine, so eager zeroing was measurable per-cell setup).
+    lines_.reset(static_cast<Line *>(
+        std::calloc(num_lines, sizeof(Line))));
+    ssp_assert(lines_ != nullptr);
 }
 
 std::uint64_t
@@ -60,10 +68,24 @@ Cache::touch(Line &line)
     line.lru = ++lruClock_;
 }
 
+void
+Cache::notifyAdd(Addr line_addr)
+{
+    if (sharers_ != nullptr)
+        sharers_->add(shareCore_, shareLevel_, line_addr);
+}
+
+void
+Cache::notifyRemove(Addr line_addr)
+{
+    if (sharers_ != nullptr)
+        sharers_->remove(shareCore_, shareLevel_, line_addr);
+}
+
 CacheAccessResult
 Cache::access(Addr line_addr, bool is_write)
 {
-    ssp_assert(lineOffset(line_addr) == 0, "unaligned line address");
+    ssp_assert_dbg(lineOffset(line_addr) == 0, "unaligned line address");
     CacheAccessResult res;
     if (Line *line = find(line_addr)) {
         ++hits_;
@@ -74,7 +96,8 @@ Cache::access(Addr line_addr, bool is_write)
         return res;
     }
     ++misses_;
-    res = insert(line_addr, is_write, false);
+    // find() just proved the line absent; go straight to the victim.
+    res = fillVictim(line_addr, is_write, false);
     res.hit = false;
     return res;
 }
@@ -90,6 +113,13 @@ Cache::insert(Addr line_addr, bool dirty, bool tx)
         touch(*line);
         return res;
     }
+    return fillVictim(line_addr, dirty, tx);
+}
+
+CacheAccessResult
+Cache::fillVictim(Addr line_addr, bool dirty, bool tx)
+{
+    CacheAccessResult res;
     Line &victim = victimIn(setOf(line_addr));
     if (victim.valid && victim.dirty) {
         ++evictions_;
@@ -99,6 +129,9 @@ Cache::insert(Addr line_addr, bool dirty, bool tx)
     } else if (victim.valid) {
         ++evictions_;
     }
+    if (victim.valid)
+        notifyRemove(victim.tag);
+    notifyAdd(line_addr);
     victim.tag = line_addr;
     victim.valid = true;
     victim.dirty = dirty;
@@ -145,6 +178,7 @@ bool
 Cache::invalidate(Addr line_addr)
 {
     if (Line *line = find(line_addr)) {
+        notifyRemove(line_addr);
         line->valid = false;
         line->dirty = false;
         line->tx = false;
@@ -162,6 +196,7 @@ Cache::remap(Addr old_addr, Addr new_addr)
         return res;
     const bool dirty = old_line->dirty;
     const bool tx = old_line->tx;
+    notifyRemove(old_addr);
     old_line->valid = false;
     old_line->dirty = false;
     old_line->tx = false;
@@ -173,16 +208,26 @@ Cache::remap(Addr old_addr, Addr new_addr)
 void
 Cache::invalidateAll()
 {
-    for (auto &line : lines_)
+    for (std::uint64_t i = 0; i < numLines_; ++i) {
+        Line &line = lines_[i];
+        // Write only slots that were ever filled: invalid slots are
+        // behaviorally inert whatever their bytes say (every reader
+        // gates on `valid`), and skipping the store keeps the
+        // calloc-backed array's untouched pages unmapped across
+        // simulated power failures.
+        if (!line.valid)
+            continue;
+        notifyRemove(line.tag);
         line = Line{};
+    }
 }
 
 std::uint64_t
 Cache::validLines() const
 {
     std::uint64_t n = 0;
-    for (const auto &line : lines_)
-        n += line.valid ? 1 : 0;
+    for (std::uint64_t i = 0; i < numLines_; ++i)
+        n += lines_[i].valid ? 1 : 0;
     return n;
 }
 

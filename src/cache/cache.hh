@@ -17,18 +17,30 @@
 #define SSP_CACHE_CACHE_HH
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <string>
-#include <vector>
+#include <type_traits>
 
 #include "common/types.hh"
 
 namespace ssp
 {
 
+class SharerIndex;
+
+/** Deleter for calloc-backed arrays. */
+struct FreeDeleter
+{
+    void operator()(void *p) const { std::free(p); }
+};
+
 /** Geometry and latency of one cache level. */
 struct CacheParams
 {
-    const char *name = "cache";
+    /** Owned: params objects outlive whatever buffer named them (the
+     *  same dangling-pointer class MemTimingParams::name fixed). */
+    std::string name = "cache";
     std::uint64_t sizeBytes = 32 * 1024;
     unsigned ways = 8;
     /** Lookup latency in core cycles (Table 2: 4 / 6 / 27). */
@@ -55,6 +67,23 @@ class Cache
 {
   public:
     explicit Cache(const CacheParams &params);
+
+    /**
+     * Register this cache as core @p core's level-@p level private
+     * cache in the hierarchy's sharer index.  Every later tag
+     * insertion/eviction/invalidation notifies the index, keeping its
+     * per-line presence masks exact.  Attached by CacheHierarchy to
+     * private L1/L2 caches of multi-core machines only; a detached
+     * cache (single core, the shared L3, standalone tests) pays no
+     * bookkeeping.
+     */
+    void
+    attachSharerIndex(SharerIndex *index, CoreId core, unsigned level)
+    {
+        sharers_ = index;
+        shareCore_ = core;
+        shareLevel_ = level;
+    }
 
     /**
      * Look up @p line_addr, allocating it on a miss.
@@ -114,6 +143,11 @@ class Cache
     std::uint64_t validLines() const;
 
   private:
+    /**
+     * All-zero is the invalid/reset state, so the backing array can be
+     * calloc'd: a big L3's tag array then costs address space, not a
+     * touched page per set, until lines actually land in it.
+     */
     struct Line
     {
         Addr tag = 0;
@@ -122,16 +156,26 @@ class Cache
         bool tx = false;
         std::uint64_t lru = 0;
     };
+    static_assert(std::is_trivially_copyable_v<Line>);
 
     std::uint64_t setOf(Addr line_addr) const;
     Line *find(Addr line_addr);
     const Line *find(Addr line_addr) const;
     Line &victimIn(std::uint64_t set);
     void touch(Line &line);
+    void notifyAdd(Addr line_addr);
+    void notifyRemove(Addr line_addr);
+    /** Allocate @p line_addr (known absent) over the set's victim. */
+    CacheAccessResult fillVictim(Addr line_addr, bool dirty, bool tx);
 
+    SharerIndex *sharers_ = nullptr;
+    CoreId shareCore_ = 0;
+    unsigned shareLevel_ = 0;
     CacheParams params_;
     std::uint64_t numSets_;
-    std::vector<Line> lines_; // numSets_ * ways, set-major
+    std::uint64_t numLines_;
+    /** numLines_ entries, set-major; calloc'd (see Line). */
+    std::unique_ptr<Line[], FreeDeleter> lines_;
     std::uint64_t lruClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -1,5 +1,7 @@
 #include "cache/hierarchy.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace ssp
@@ -10,9 +12,17 @@ CacheHierarchy::CacheHierarchy(unsigned num_cores,
     : params_(params), bus_(bus)
 {
     ssp_assert(num_cores > 0);
+    ssp_assert(num_cores <= 64, "sharer masks hold at most 64 cores");
+    indexed_ = num_cores >= kSharerIndexMinCores;
     for (unsigned i = 0; i < num_cores; ++i) {
         l1s_.push_back(std::make_unique<Cache>(params.l1));
         l2s_.push_back(std::make_unique<Cache>(params.l2));
+        // Small machines never consult the index; skip the bookkeeping
+        // entirely so their fills stay hash-free.
+        if (indexed_) {
+            l1s_.back()->attachSharerIndex(&sharers_, i, SharerIndex::kL1);
+            l2s_.back()->attachSharerIndex(&sharers_, i, SharerIndex::kL2);
+        }
     }
     l3_ = std::make_unique<Cache>(params.l3);
 }
@@ -105,23 +115,40 @@ CacheHierarchy::invalidatePeersOnWrite(CoreId core, Addr line, Cycles done)
 {
     if (coherence_ == nullptr || numCores() <= 1)
         return done;
-    bool any = false;
-    for (CoreId c = 0; c < numCores(); ++c) {
-        if (c == core)
-            continue;
-        // Both levels must be probed; peer copies are clean (only the
-        // lock holder dirties a page mid-transaction and commit cleans
-        // its lines), so dropping without write-back loses nothing.
+    // Peer copies are clean (only the lock holder dirties a page
+    // mid-transaction and commit cleans its lines), so dropping
+    // without write-back loses nothing.
+    if (!indexed_) {
+        // Small machine: brute-force probe of every peer's L1+L2.
+        bool any = false;
+        for (CoreId c = 0; c < numCores(); ++c) {
+            if (c == core)
+                continue;
+            const bool in_l1 = l1s_[c]->invalidate(line);
+            const bool in_l2 = l2s_[c]->invalidate(line);
+            if (in_l1 || in_l2) {
+                any = true;
+                coherence_->deliverInvalidation(c);
+            }
+        }
+        return any ? coherence_->invalidate(core, done) : done;
+    }
+    // The sharer index gives the exact peer set, so only actual holders
+    // are probed — the same peers the full tag scan used to find, hence
+    // the same messages and the same charged cycles.
+    std::uint64_t peers =
+        sharers_.sharers(line) & ~(std::uint64_t{1} << core);
+    if (peers == 0)
+        return done;
+    while (peers != 0) {
+        const CoreId c = static_cast<CoreId>(std::countr_zero(peers));
+        peers &= peers - 1;
         const bool in_l1 = l1s_[c]->invalidate(line);
         const bool in_l2 = l2s_[c]->invalidate(line);
-        if (in_l1 || in_l2) {
-            any = true;
-            coherence_->deliverInvalidation(c);
-        }
+        ssp_assert_dbg(in_l1 || in_l2, "sharer index out of sync");
+        coherence_->deliverInvalidation(c);
     }
-    if (any)
-        done = coherence_->invalidate(core, done);
-    return done;
+    return coherence_->invalidate(core, done);
 }
 
 Cycles
@@ -154,26 +181,50 @@ void
 CacheHierarchy::invalidateLine(Addr addr)
 {
     const Addr line = lineBase(addr);
-    for (auto &l1 : l1s_)
-        l1->invalidate(line);
-    for (auto &l2 : l2s_)
-        l2->invalidate(line);
+    if (indexed_) {
+        std::uint64_t holders = sharers_.sharers(line);
+        while (holders != 0) {
+            const CoreId c = static_cast<CoreId>(std::countr_zero(holders));
+            holders &= holders - 1;
+            l1s_[c]->invalidate(line);
+            l2s_[c]->invalidate(line);
+        }
+    } else {
+        for (auto &l1 : l1s_)
+            l1->invalidate(line);
+        for (auto &l2 : l2s_)
+            l2->invalidate(line);
+    }
     l3_->invalidate(line);
 }
 
 std::uint64_t
 CacheHierarchy::invalidateLineRemote(CoreId sender, Addr addr)
 {
-    ssp_assert(numCores() <= 64, "peer masks hold at most 64 cores");
+    if (numCores() <= 1)
+        return 0;
     const Addr line = lineBase(addr);
-    std::uint64_t peers = 0;
-    for (CoreId c = 0; c < numCores(); ++c) {
-        if (c == sender)
-            continue;
+    if (!indexed_) {
+        std::uint64_t peers = 0;
+        for (CoreId c = 0; c < numCores(); ++c) {
+            if (c == sender)
+                continue;
+            const bool in_l1 = l1s_[c]->invalidate(line);
+            const bool in_l2 = l2s_[c]->invalidate(line);
+            if (in_l1 || in_l2)
+                peers |= std::uint64_t{1} << c;
+        }
+        return peers;
+    }
+    const std::uint64_t peers =
+        sharers_.sharers(line) & ~(std::uint64_t{1} << sender);
+    std::uint64_t rest = peers;
+    while (rest != 0) {
+        const CoreId c = static_cast<CoreId>(std::countr_zero(rest));
+        rest &= rest - 1;
         const bool in_l1 = l1s_[c]->invalidate(line);
         const bool in_l2 = l2s_[c]->invalidate(line);
-        if (in_l1 || in_l2)
-            peers |= std::uint64_t{1} << c;
+        ssp_assert_dbg(in_l1 || in_l2, "sharer index out of sync");
     }
     return peers;
 }
@@ -232,6 +283,8 @@ CacheHierarchy::invalidateAll()
     for (auto &l2 : l2s_)
         l2->invalidateAll();
     l3_->invalidateAll();
+    ssp_assert_dbg(!indexed_ || sharers_.trackedLines() == 0,
+                   "sharer index must drain with the caches");
 }
 
 } // namespace ssp

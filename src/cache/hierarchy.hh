@@ -16,6 +16,7 @@
 
 #include "cache/cache.hh"
 #include "cache/coherence.hh"
+#include "cache/sharer_index.hh"
 #include "common/types.hh"
 #include "mem/memory_bus.hh"
 
@@ -120,6 +121,27 @@ class CacheHierarchy
     Cache &l3() { return *l3_; }
     unsigned numCores() const { return static_cast<unsigned>(l1s_.size()); }
 
+    /**
+     * Smallest core count whose hierarchy maintains the sharer index:
+     * below this, brute-force peer probes touch so few tag arrays that
+     * the index's per-fill bookkeeping costs more than it saves.  The
+     * cutover is invisible in simulated time — both paths find exactly
+     * the same peer set (tests/test_multicore.cc checks the index
+     * against brute-force probes).
+     */
+    static constexpr unsigned kSharerIndexMinCores = 5;
+
+    /** True when this hierarchy maintains the sharer index. */
+    bool sharerIndexed() const { return indexed_; }
+
+    /**
+     * The line-granular sharer index over all private L1/L2 caches.
+     * Peer-directed operations iterate its masks instead of probing
+     * every core's tag arrays; only maintained (and only meaningful)
+     * when sharerIndexed().
+     */
+    const SharerIndex &sharerIndex() const { return sharers_; }
+
   private:
     /** Handle a dirty victim evicted from level @p level (0=L1, 1=L2). */
     void handleVictim(CoreId core, unsigned level,
@@ -135,6 +157,8 @@ class CacheHierarchy
     HierarchyParams params_;
     MemoryBus &bus_;
     CoherenceBus *coherence_ = nullptr;
+    bool indexed_ = false;
+    SharerIndex sharers_;
     std::vector<std::unique_ptr<Cache>> l1s_;
     std::vector<std::unique_ptr<Cache>> l2s_;
     std::unique_ptr<Cache> l3_;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Line-granular sharer index for the cache hierarchy.
+ *
+ * Maps a physical line address to a 64-bit presence mask over cores:
+ * bit c is set exactly when core c holds the line in its private L1 or
+ * L2.  The index is maintained by the caches themselves (every tag
+ * insert/evict/invalidate notifies it), so peer-visible operations —
+ * MESI write invalidation, the SSP flip-current-bit shootdown, the
+ * abort-path line drop — probe only the cores that actually hold a
+ * copy instead of walking every core's L1+L2 tag arrays.
+ *
+ * The index is exact, not conservative: an out-of-sync bit would not
+ * just cost time, it would change which peers are charged coherence
+ * traffic.  tests/test_multicore.cc cross-checks the mask against
+ * brute-force tag probes after randomized access/invalidate/remap/
+ * power-failure sequences.
+ *
+ * This per-line mask is also the natural substrate for a directory /
+ * snoop-filter *cost* model (ROADMAP): a directory charges by sharer
+ * count, which is popcount of exactly this mask.
+ */
+
+#ifndef SSP_CACHE_SHARER_INDEX_HH
+#define SSP_CACHE_SHARER_INDEX_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace ssp
+{
+
+/** Tracks which cores' private caches hold each line (see file doc). */
+class SharerIndex
+{
+  public:
+    /** Private cache levels feeding the index. */
+    static constexpr unsigned kL1 = 0;
+    static constexpr unsigned kL2 = 1;
+
+    /** Core @p core's level-@p level cache gained @p line. */
+    void
+    add(CoreId core, unsigned level, Addr line)
+    {
+        Masks &m = map_[line];
+        (level == kL1 ? m.l1 : m.l2) |= bit(core);
+    }
+
+    /** Core @p core's level-@p level cache dropped @p line. */
+    void
+    remove(CoreId core, unsigned level, Addr line)
+    {
+        auto it = map_.find(line);
+        if (it == map_.end())
+            return;
+        Masks &m = it->second;
+        (level == kL1 ? m.l1 : m.l2) &= ~bit(core);
+        if ((m.l1 | m.l2) == 0)
+            map_.erase(it);
+    }
+
+    /** Mask of cores holding @p line in L1 or L2 (bit c = core c). */
+    std::uint64_t
+    sharers(Addr line) const
+    {
+        auto it = map_.find(line);
+        return it == map_.end() ? 0 : (it->second.l1 | it->second.l2);
+    }
+
+    /** Drop every mapping (bulk alternative to per-line remove). */
+    void clear() { map_.clear(); }
+
+    /** Number of lines with at least one private-cache copy. */
+    std::size_t trackedLines() const { return map_.size(); }
+
+  private:
+    struct Masks
+    {
+        std::uint64_t l1 = 0;
+        std::uint64_t l2 = 0;
+    };
+
+    static std::uint64_t bit(CoreId core) { return std::uint64_t{1} << core; }
+
+    std::unordered_map<Addr, Masks> map_;
+};
+
+} // namespace ssp
+
+#endif // SSP_CACHE_SHARER_INDEX_HH

@@ -59,4 +59,21 @@ bool verbose();
         }                                                                    \
     } while (0)
 
+/**
+ * Hot-loop invariant: checked like ssp_assert in builds without NDEBUG
+ * (the Debug/ASan CI leg), compiled out — condition unevaluated — in
+ * Release, so inner loops (cache tag lookups, functional memory,
+ * sharer-index consistency) pay nothing for their asserts where the
+ * numbers are measured.  The unevaluated sizeof keeps variables that
+ * only the assertion references "used" under -Wall -Werror.
+ */
+#ifdef NDEBUG
+#define ssp_assert_dbg(cond, ...)                                            \
+    do {                                                                     \
+        (void)sizeof(!(cond));                                               \
+    } while (0)
+#else
+#define ssp_assert_dbg(...) ssp_assert(__VA_ARGS__)
+#endif
+
 #endif // SSP_COMMON_LOGGING_HH

@@ -7,24 +7,6 @@
 namespace ssp
 {
 
-namespace
-{
-
-/** True when any line of @p lines appears in @p set. */
-bool
-intersects(const std::unordered_set<Addr> &lines,
-           const std::unordered_set<Addr> &set)
-{
-    // Probe the smaller side against the larger one.
-    if (lines.size() > set.size())
-        return intersects(set, lines);
-    return std::any_of(lines.begin(), lines.end(), [&](Addr a) {
-        return set.contains(a);
-    });
-}
-
-} // namespace
-
 ConflictManager::ConflictManager(unsigned num_cores,
                                  const ConflictParams &params)
     : params_(params), enabled_(params.enabled && num_cores > 1),
@@ -70,32 +52,67 @@ ConflictManager::validate(CoreId core, Cycles now)
     TxState &tx = tx_[core];
     ssp_assert(tx.active, "commit validation without an open transaction");
 
-    for (const CommitRecord &rec : log_) {
-        // Only peer commits inside this transaction's (begin, now]
-        // window conflict: a record at or before the begin point was
-        // visible when the transaction started, and one stamped after
-        // `now` belongs to a transaction this (earlier) committer
-        // should have beaten.  The latter case is the one-sided
-        // approximation of sequential round-robin simulation: the
-        // later-stamped peer has already committed irrevocably in
-        // simulation order, so neither side aborts, and symmetric
-        // contention undercounts conflicts where the earlier-simulated
-        // core had the longer transaction.  Detecting it here would
-        // punish the rightful winner; a two-pass round (speculate,
-        // order by commit point, re-run losers) is the faithful fix.
-        if (rec.core == core || rec.commitCycle <= tx.beginCycle ||
-            rec.commitCycle > now) {
-            continue;
+    // Only peer commits inside this transaction's (begin, now] window
+    // conflict: a record at or before the begin point was visible when
+    // the transaction started, and one stamped after `now` belongs to
+    // a transaction this (earlier) committer should have beaten.  The
+    // latter case is the one-sided approximation of sequential
+    // round-robin simulation: the later-stamped peer has already
+    // committed irrevocably in simulation order, so neither side
+    // aborts, and symmetric contention undercounts conflicts where the
+    // earlier-simulated core had the longer transaction.  Detecting it
+    // here would punish the rightful winner; a two-pass round
+    // (speculate, order by commit point, re-run losers) is the
+    // faithful fix.
+    //
+    // The check itself runs over the inverted index: for each line of
+    // the transaction's footprint, find that line's in-window postings
+    // and keep the earliest (lowest-seq) record among them — exactly
+    // the record the old front-to-back scan over log_ would have
+    // stopped at.  Postings of already-pruned records fail the window
+    // test (their commit point is at or below the prune floor, which
+    // no live begin point is under), so they are filtered, not
+    // consulted.
+    std::uint64_t best_ww = ~std::uint64_t{0};
+    std::uint64_t best_rw = ~std::uint64_t{0};
+    auto cycle_less = [](Cycles c, const Posting &p) {
+        return c < p.commitCycle;
+    };
+    auto earliest_hit = [&](Addr line, std::uint64_t &best) {
+        const auto [word, bit] = bloomBit(line);
+        if ((postingBloom_[word] & bit) == 0)
+            return; // proven absent: no record wrote this line
+        auto it = postings_.find(line);
+        if (it == postings_.end())
+            return;
+        // The list is cycle-sorted, so the (begin, now] window is a
+        // binary-searched range — empty for the common conflict-free
+        // line, without walking a single out-of-window posting.
+        const std::vector<Posting> &vec = it->second;
+        auto lo = std::upper_bound(vec.begin(), vec.end(),
+                                   tx.beginCycle, cycle_less);
+        auto hi = std::upper_bound(lo, vec.end(), now, cycle_less);
+        for (; lo != hi; ++lo) {
+            if (lo->core != core)
+                best = std::min(best, lo->seq);
         }
-        if (params_.validation == ConflictValidation::FirstCommitterWins &&
-            intersects(tx.writes, rec.writes)) {
+    };
+    if (!postings_.empty()) {
+        if (params_.validation == ConflictValidation::FirstCommitterWins) {
+            for (Addr line : tx.writes)
+                earliest_hit(line, best_ww);
+        }
+        for (Addr line : tx.reads)
+            earliest_hit(line, best_rw);
+    }
+    if (best_ww != ~std::uint64_t{0} || best_rw != ~std::uint64_t{0}) {
+        // Within one record the scan tested write-write before
+        // read-write, so a tie classifies as write-write.
+        if (best_ww <= best_rw)
             ++stats_.writeWriteConflicts;
-            return false;
-        }
-        if (intersects(tx.reads, rec.writes)) {
+        else
             ++stats_.readWriteConflicts;
-            return false;
-        }
+        return false;
     }
     tx.validated = true;
     tx.validatedAt = now;
@@ -110,13 +127,10 @@ ConflictManager::commitTx(CoreId core, Cycles now, Cycles min_core_clock)
     TxState &tx = tx_[core];
     ssp_assert(tx.active, "conflict-tracking commit without a begin");
 
-    if (!tx.writes.empty()) {
-        CommitRecord rec;
-        rec.core = core;
-        rec.commitCycle = tx.validated ? tx.validatedAt : now;
-        rec.writes = std::move(tx.writes);
-        log_.push_back(std::move(rec));
-    }
+    CommitRecord rec;
+    rec.core = core;
+    rec.commitCycle = tx.validated ? tx.validatedAt : now;
+    rec.writes = std::move(tx.writes);
     tx.active = false;
     tx.validated = false;
     tx.reads.clear();
@@ -133,6 +147,39 @@ ConflictManager::commitTx(CoreId core, Cycles now, Cycles min_core_clock)
     }
     while (!log_.empty() && log_.front().commitCycle <= floor)
         log_.pop_front();
+    // The log drains completely at every round boundary (the barrier
+    // advances the floor past the previous round's commit points), so
+    // this is where the posting index resets instead of growing
+    // without bound.  clear() keeps the bucket array, so the per-round
+    // rebuild does not re-pay rehashing.
+    if (log_.empty()) {
+        postings_.clear();
+        postingBloom_.fill(0);
+    }
+
+    // Publish.  A record already at or below the floor is unreachable
+    // by any future window; the pre-index code path reached the same
+    // end state by pushing it and immediately pruning it.
+    if (!rec.writes.empty() &&
+        !(log_.empty() && rec.commitCycle <= floor)) {
+        const std::uint64_t seq = nextSeq_++;
+        for (Addr line : rec.writes) {
+            std::vector<Posting> &vec = postings_[line];
+            // Keep each line's postings sorted by commit point so
+            // validation can binary-search its window.  Commit points
+            // interleave across cores mid-round, so this is a real
+            // sorted insert, not an append.
+            auto at = std::upper_bound(
+                vec.begin(), vec.end(), rec.commitCycle,
+                [](Cycles c, const Posting &p) {
+                    return c < p.commitCycle;
+                });
+            vec.insert(at, Posting{rec.commitCycle, seq, rec.core});
+            const auto [word, bit] = bloomBit(line);
+            postingBloom_[word] |= bit;
+        }
+        log_.push_back(std::move(rec));
+    }
 }
 
 void
@@ -172,6 +219,8 @@ ConflictManager::reset()
         tx.writes.clear();
     }
     log_.clear();
+    postings_.clear();
+    postingBloom_.fill(0);
 }
 
 } // namespace ssp

@@ -33,12 +33,14 @@
 #ifndef SSP_CORE_CONFLICT_MANAGER_HH
 #define SSP_CORE_CONFLICT_MANAGER_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
+#include "core/line_set.hh"
 
 namespace ssp
 {
@@ -151,8 +153,10 @@ class ConflictManager
         /** Commit point fixed by the last successful validate(). */
         bool validated = false;
         Cycles validatedAt = 0;
-        std::unordered_set<Addr> reads;  ///< line-aligned vaddrs
-        std::unordered_set<Addr> writes; ///< line-aligned vaddrs
+        /** Line-aligned vaddrs; LineSet keeps the hot record/validate
+         *  path allocation- and hash-free for Table 3-sized sets. */
+        LineSet reads;
+        LineSet writes;
     };
 
     /** One committed transaction's published write set. */
@@ -160,14 +164,67 @@ class ConflictManager
     {
         CoreId core = 0;
         Cycles commitCycle = 0;
-        std::unordered_set<Addr> writes;
+        LineSet writes;
+    };
+
+    /**
+     * One published write of one line, entered into the per-line
+     * posting index at commit.  `seq` is the record's global position
+     * in commit-log order: validation must report the *earliest*
+     * logged record that conflicts (and classify write-write before
+     * read-write within it), exactly as the record-by-record scan it
+     * replaces did.
+     */
+    struct Posting
+    {
+        Cycles commitCycle = 0;
+        std::uint64_t seq = 0;
+        CoreId core = 0;
     };
 
     ConflictParams params_;
     bool enabled_;
     std::vector<TxState> tx_;
     std::deque<CommitRecord> log_;
+    /**
+     * Inverted index over log_: line address -> postings of every
+     * published write of that line, sorted by commit point so a
+     * validation window is a binary-searched range.  validate looks up
+     * only the validating transaction's own footprint instead of
+     * scanning every record's write set — with bulk-synchronous rounds
+     * the log holds O(cores x sections-per-op) records, so the scan
+     * was the quadratic term that dominated 64-core cells.
+     *
+     * Postings of pruned records linger until the index resets: they
+     * are harmless because any future validation window starts at or
+     * above the prune floor, so the window test rejects them — the
+     * exact filter the record scan applied.  The index resets whenever
+     * the log drains, which the round barrier guarantees once per
+     * round.
+     */
+    std::unordered_map<Addr, std::vector<Posting>> postings_;
+    /**
+     * 4096-bit Bloom filter over postings_'s keys (one bit per line,
+     * set on publish, zeroed when the index resets).  Validation
+     * probes the footprint lines here first: a clear bit proves the
+     * line has no postings, so the common cold line costs one bit test
+     * instead of a hash lookup.  False positives just fall through to
+     * the map; the result is exact either way.
+     */
+    std::array<std::uint64_t, 64> postingBloom_{};
+    /** Log-order sequence number of the next published record. */
+    std::uint64_t nextSeq_ = 0;
     ConflictStats stats_;
+
+    /** Bloom bit position for @p line (splitmix-style spread). */
+    static std::pair<unsigned, std::uint64_t>
+    bloomBit(Addr line)
+    {
+        std::uint64_t h = line * 0x9e3779b97f4a7c15ull;
+        h >>= 52; // top 12 bits index 4096 positions
+        return {static_cast<unsigned>(h >> 6),
+                std::uint64_t{1} << (h & 63)};
+    }
 };
 
 } // namespace ssp

@@ -8,6 +8,7 @@
 #ifndef SSP_CORE_MACHINE_HH
 #define SSP_CORE_MACHINE_HH
 
+#include <bit>
 #include <vector>
 
 #include "cache/coherence.hh"
@@ -101,9 +102,10 @@ class Machine
     void
     chargeShootdown(CoreId sender, std::uint64_t peer_mask)
     {
-        for (unsigned c = 0; c < cfg_.numCores; ++c) {
-            if (c == sender || ((peer_mask >> c) & 1) == 0)
-                continue;
+        std::uint64_t rest = peer_mask & ~(std::uint64_t{1} << sender);
+        while (rest != 0) {
+            const unsigned c = static_cast<unsigned>(std::countr_zero(rest));
+            rest &= rest - 1;
             clocks_[c] += cfg_.broadcastLatency;
             coherence_.deliverShootdown(c);
         }

@@ -9,38 +9,26 @@ PhysMem::PhysMem(std::uint64_t nvram_pages, std::uint64_t dram_pages)
     : nvramPages_(nvram_pages), dramPages_(dram_pages)
 {
     ssp_assert(nvram_pages > 0);
+    pages_.resize(totalPages());
 }
 
 std::uint8_t *
-PhysMem::pageFor(Addr addr, bool create)
+PhysMem::allocPage(Ppn ppn)
 {
-    Ppn ppn = pageOf(addr);
-    ssp_assert(ppn < totalPages(), "paddr %llx out of range",
-               static_cast<unsigned long long>(addr));
-    auto it = pages_.find(ppn);
-    if (it != pages_.end())
-        return it->second.get();
-    if (!create)
-        return nullptr;
-    auto page = std::make_unique<std::uint8_t[]>(kPageSize);
-    std::memset(page.get(), 0, kPageSize);
-    auto *raw = page.get();
-    pages_.emplace(ppn, std::move(page));
-    return raw;
-}
-
-const std::uint8_t *
-PhysMem::pageForRead(Addr addr) const
-{
-    Ppn ppn = pageOf(addr);
-    ssp_assert(ppn < totalPages(), "paddr %llx out of range",
-               static_cast<unsigned long long>(addr));
-    auto it = pages_.find(ppn);
-    return it == pages_.end() ? nullptr : it->second.get();
+    // Hard check on the cold path: every first touch of a page funnels
+    // through here, so an out-of-range paddr still dies cleanly in
+    // Release instead of corrupting the heap — while the hot lookups
+    // above keep only the debug-build assert.
+    ssp_assert(ppn < totalPages(), "ppn %llx out of range",
+               static_cast<unsigned long long>(ppn));
+    pages_[ppn] = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::uint8_t *page = pages_[ppn].get();
+    std::memset(page, 0, kPageSize);
+    return page;
 }
 
 void
-PhysMem::read(Addr addr, void *buf, std::uint64_t size) const
+PhysMem::readSlow(Addr addr, void *buf, std::uint64_t size) const
 {
     auto *out = static_cast<std::uint8_t *>(buf);
     while (size > 0) {
@@ -58,14 +46,13 @@ PhysMem::read(Addr addr, void *buf, std::uint64_t size) const
 }
 
 void
-PhysMem::write(Addr addr, const void *buf, std::uint64_t size)
+PhysMem::writeSlow(Addr addr, const void *buf, std::uint64_t size)
 {
     const auto *in = static_cast<const std::uint8_t *>(buf);
     while (size > 0) {
         std::uint64_t in_page = std::min<std::uint64_t>(
             size, kPageSize - pageOffset(addr));
-        std::uint8_t *page = pageFor(addr, true);
-        std::memcpy(page + pageOffset(addr), in, in_page);
+        std::memcpy(pageFor(addr, true) + pageOffset(addr), in, in_page);
         addr += in_page;
         in += in_page;
         size -= in_page;
@@ -97,26 +84,40 @@ PhysMem::write64(Addr addr, std::uint64_t value)
 void
 PhysMem::powerFail()
 {
-    for (auto it = pages_.begin(); it != pages_.end();) {
-        if (!isNvramPage(it->first))
-            it = pages_.erase(it);
-        else
-            ++it;
-    }
+    for (Ppn ppn = nvramPages_; ppn < totalPages(); ++ppn)
+        pages_[ppn].reset();
+    // The lookup cache may point at a just-released DRAM page.
+    lastPpn_ = kInvalidPpn;
+    lastPage_ = nullptr;
 }
 
 std::unordered_map<Ppn, std::vector<std::uint8_t>>
 PhysMem::snapshotNvram() const
 {
+    // Size the table up front: the crash tests snapshot after every
+    // injected failure, and growing a rehashing map page by page was
+    // measurable churn there.
+    std::uint64_t allocated = 0;
+    for (Ppn ppn = 0; ppn < nvramPages_; ++ppn)
+        allocated += pages_[ppn] != nullptr ? 1 : 0;
     std::unordered_map<Ppn, std::vector<std::uint8_t>> snap;
-    for (const auto &kv : pages_) {
-        if (!isNvramPage(kv.first))
+    snap.reserve(allocated);
+    for (Ppn ppn = 0; ppn < nvramPages_; ++ppn) {
+        const std::uint8_t *page = pages_[ppn].get();
+        if (page == nullptr)
             continue;
-        snap.emplace(kv.first,
-                     std::vector<std::uint8_t>(kv.second.get(),
-                                               kv.second.get() + kPageSize));
+        snap.emplace(ppn, std::vector<std::uint8_t>(page, page + kPageSize));
     }
     return snap;
+}
+
+std::uint64_t
+PhysMem::allocatedPages() const
+{
+    std::uint64_t n = 0;
+    for (const auto &page : pages_)
+        n += page != nullptr ? 1 : 0;
+    return n;
 }
 
 } // namespace ssp

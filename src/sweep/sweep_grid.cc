@@ -154,8 +154,21 @@ deriveCellSeed(std::uint64_t base_seed, std::uint64_t ordinal)
 std::vector<std::string>
 knownFigures()
 {
-    return {"fig5",   "fig6",    "fig7", "fig8",  "fig9",
-            "table3", "table45", "chan", "scale", "smoke"};
+    // (Trailing comma: one name per line keeps this list append-only
+    // in diffs as grids accumulate.)
+    return {
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table3",
+        "table45",
+        "chan",
+        "scale",
+        "scale64",
+        "smoke",
+    };
 }
 
 namespace
@@ -173,6 +186,31 @@ smokeConfig()
     cfg.logPages = 512;
     cfg.dramPages = 64;
     cfg.checkpointThresholdBytes = 16 * 1024;
+    return cfg;
+}
+
+/**
+ * The "big" machine: a 64-core-class server the 16-64-core scale64
+ * grid runs on.  Everything the core count stresses is sized up from
+ * the paper's Table 2 desktop part: a 96 MiB shared L3 (with the
+ * longer lookup of a larger NUCA array), an SSP cache provisioned for
+ * 64 cores x 64 TLB entries with slack, a journal/log area that fits
+ * the larger slot array's persistent lines, and a deeper shadow pool.
+ * The configuration is identical at every core count so the scaling
+ * axis measures cores, not machine-size side effects.
+ */
+SspConfig
+bigConfig(unsigned cores)
+{
+    SspConfig cfg;
+    cfg.numCores = cores;
+    cfg.heapPages = 1 << 15; // 128 MiB persistent heap
+    cfg.logPages = 16384;    // 64 MiB undo/redo log area
+    cfg.journalPages = 1024; // fits the 8K-slot journal + headroom
+    cfg.sspCacheSlots = 8192;
+    cfg.shadowPoolPages = cfg.sspCacheSlots + 2048;
+    cfg.dramPages = 8192;
+    cfg.caches.l3 = CacheParams{"l3", 96 * 1024 * 1024, 16, 42};
     return cfg;
 }
 
@@ -199,6 +237,13 @@ std::vector<unsigned>
 defaultCoreList()
 {
     return {1, 2, 4, 8};
+}
+
+/** Core counts the scale64 grid sweeps by default. */
+std::vector<unsigned>
+defaultBigCoreList()
+{
+    return {1, 2, 4, 8, 16, 32, 64};
 }
 
 /** Workloads of the scale grid: shared-uniform (SPS), partitioned
@@ -369,6 +414,38 @@ generateCells(const std::string &figure, std::uint64_t txs,
                 }
             }
         }
+    } else if (figure == "scale64") {
+        // Core scaling on the big machine: the same designs and
+        // sharing scenarios as the scale grid, but on a 64-core-class
+        // server configuration and with the full paper workload scale,
+        // across cores up to 64.  Seed ordinals are pinned per
+        // (workload, backend), so every core count replays the
+        // identical key stream — the scaling curves measure coherence,
+        // contention and conflict effects on the same work.
+        const std::vector<unsigned> core_list =
+            opts.coreCounts.empty() ? defaultBigCoreList()
+                                    : opts.coreCounts;
+        const std::vector<BackendKind> backends = {
+            BackendKind::Ssp, BackendKind::UndoLog, BackendKind::RedoLog};
+        for (unsigned cores : core_list) {
+            std::int64_t seed_ordinal = 0;
+            for (WorkloadKind w : scaleWorkloads()) {
+                const bool partitioned = (w == WorkloadKind::BTreeRand ||
+                                          w == WorkloadKind::HashRand);
+                for (BackendKind b : backends) {
+                    SweepCell cell;
+                    cell.backend = b;
+                    cell.workload = w;
+                    cell.cores = cores;
+                    cell.base = bigConfig(cores);
+                    cell.seedOrdinal = seed_ordinal++;
+                    if (partitioned && cores > 1)
+                        cell.keyShards = cores;
+                    cell.txs = txs;
+                    emit(std::move(cell));
+                }
+            }
+        }
     } else if (figure == "smoke") {
         // One tiny CI cell proving the whole pipeline end to end.
         SweepCell cell;
@@ -400,6 +477,11 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
     // its single-core cells stay directly comparable to the smoke cell.
     if (opts.txs == 0 && (figure == "smoke" || figure == "scale"))
         txs = 400;
+    // The scale64 grid runs the full paper workload scale; 2000
+    // transactions per cell keeps the 126-cell grid affordable while
+    // leaving each multi-core cell long enough to time meaningfully.
+    if (opts.txs == 0 && figure == "scale64")
+        txs = 2000;
 
     // Only the chan grid sweeps channel counts; failing beats silently
     // handing back 1-channel cells labeled as a channel experiment.
@@ -408,10 +490,11 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
                   "not '%s'",
                   figure.c_str());
     }
-    // Likewise, only the scale grid sweeps core counts.
-    if (!opts.coreCounts.empty() && figure != "scale") {
-        ssp_fatal("the cores option only applies to the 'scale' grid, "
-                  "not '%s'",
+    // Likewise, only the core-scaling grids sweep core counts.
+    if (!opts.coreCounts.empty() && figure != "scale" &&
+        figure != "scale64") {
+        ssp_fatal("the cores option only applies to the 'scale' and "
+                  "'scale64' grids, not '%s'",
                   figure.c_str());
     }
     // Per-cell key sharding is a grid decision (the scale grid's

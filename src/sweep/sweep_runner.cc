@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -20,6 +21,7 @@ runOneCell(const SweepCell &cell)
 {
     CellResult res;
     res.cell = cell;
+    const auto host_start = std::chrono::steady_clock::now();
     try {
         Experiment exp = buildExperiment(cell.backend, cell.workload,
                                          cell.config(), cell.scale);
@@ -28,6 +30,10 @@ runOneCell(const SweepCell &cell)
     } catch (const std::exception &e) {
         res.error = e.what();
     }
+    res.hostMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - host_start)
+            .count();
     return res;
 }
 
@@ -78,13 +84,19 @@ runSweep(const std::vector<SweepCell> &cells, unsigned jobs,
 
 Json
 sweepReport(const std::string &figure,
-            const std::vector<CellResult> &results)
+            const std::vector<CellResult> &results, bool include_host_time)
 {
     Json doc = Json::object();
     doc.set("schema", Json::str("ssp-bench-report-v1"));
     doc.set("figure", Json::str(figure));
     doc.set("cell_count", Json::number(
         static_cast<std::uint64_t>(results.size())));
+    if (include_host_time) {
+        double total_ms = 0;
+        for (const CellResult &r : results)
+            total_ms += r.hostMillis;
+        doc.set("host_ms_total", Json::number(total_ms));
+    }
 
     Json cells = Json::array();
     for (const CellResult &r : results) {
@@ -120,6 +132,10 @@ sweepReport(const std::string &figure,
                       static_cast<unsigned long long>(r.cell.scale.seed));
         c.set("seed", Json::str(seed_hex));
         c.set("ok", Json::boolean(r.ok));
+        // Host time is opt-in: it varies run to run, so it must never
+        // leak into the byte-stable default reports.
+        if (include_host_time)
+            c.set("host_ms", Json::number(r.hostMillis));
         if (!r.ok) {
             c.set("error", Json::str(r.error));
             cells.push(std::move(c));
@@ -149,7 +165,10 @@ sweepReport(const std::string &figure,
         m.set("max_pages_per_tx", Json::number(r.run.maxPagesPerTx));
         // Multi-core-only metrics are gated on the core count so every
         // single-core report stays byte-identical to the 1-core model.
-        if (r.cell.cores > 1) {
+        // The scale64 grid opts in at every core count: its report is
+        // new, and a constant schema across the 1..64-core axis is what
+        // the scaling analysis scripts want.
+        if (r.cell.cores > 1 || r.cell.figure == "scale64") {
             Json busy = Json::array();
             for (std::uint64_t v : r.run.coreBusyCycles)
                 busy.push(Json::number(v));

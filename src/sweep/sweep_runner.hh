@@ -29,6 +29,13 @@ struct CellResult
     RunResult run{};
     bool ok = false;
     std::string error; ///< exception text when !ok
+    /**
+     * Host wall-clock time this cell took to build and run, in
+     * milliseconds.  Always measured (one steady_clock pair per cell);
+     * only serialized when the report asks for it, so the checked-in
+     * BENCH_*.json files stay byte-stable run to run.
+     */
+    double hostMillis = 0;
 };
 
 /** Invoked after each cell completes: (result, done count, total). */
@@ -49,9 +56,16 @@ std::vector<CellResult> runSweep(const std::vector<SweepCell> &cells,
  * Serialize sweep results as the BENCH_*.json report document:
  * schema/figure metadata plus one entry per cell with the cell's
  * coordinates and the measured metrics.
+ *
+ * With @p include_host_time set, every cell carries its measured
+ * "host_ms" and the document gains a "host_ms_total" — the
+ * perf-trajectory data scripts/perf_compare.py consumes.  The default
+ * leaves host times out so checked-in reports are byte-identical
+ * across runs and machines.
  */
 Json sweepReport(const std::string &figure,
-                 const std::vector<CellResult> &results);
+                 const std::vector<CellResult> &results,
+                 bool include_host_time = false);
 
 } // namespace ssp::sweep
 

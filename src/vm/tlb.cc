@@ -14,10 +14,21 @@ Tlb::Tlb(unsigned num_entries) : capacity_(num_entries)
 TlbEntry *
 Tlb::lookup(Vpn vpn)
 {
+    // One-entry lookup cache: accesses cluster on a page (a structure
+    // node spans a few lines), so most lookups re-translate the last
+    // vpn.  entries_ never reallocates, so the index stays valid; the
+    // slot's contents are re-checked, so eviction/flush need no hook.
+    TlbEntry &last = entries_[lastIdx_];
+    if (last.valid && last.vpn == vpn) {
+        last.lru = ++lruClock_;
+        ++hits_;
+        return &last;
+    }
     for (auto &entry : entries_) {
         if (entry.valid && entry.vpn == vpn) {
             entry.lru = ++lruClock_;
             ++hits_;
+            lastIdx_ = static_cast<unsigned>(&entry - entries_.data());
             return &entry;
         }
     }
@@ -65,6 +76,10 @@ std::vector<TlbEntry>
 Tlb::validEntries() const
 {
     std::vector<TlbEntry> out;
+    // One allocation, sized by the worst case: flush paths call this
+    // on every transaction commit, and repeated push_back growth was
+    // avoidable churn in the crash tests.
+    out.reserve(capacity_);
     for (const auto &entry : entries_) {
         if (entry.valid)
             out.push_back(entry);

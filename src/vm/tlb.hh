@@ -90,6 +90,8 @@ class Tlb
   private:
     unsigned capacity_;
     std::vector<TlbEntry> entries_;
+    /** Slot of the most recent hit (lookup cache; always re-checked). */
+    unsigned lastIdx_ = 0;
     std::uint64_t lruClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

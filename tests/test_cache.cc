@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cache/cache.hh"
 #include "cache/hierarchy.hh"
+#include "common/rng.hh"
 #include "mem/memory_bus.hh"
 #include "mem/phys_mem.hh"
 
@@ -20,6 +23,16 @@ CacheParams
 tinyCache(unsigned size_kib, unsigned ways, Cycles lat)
 {
     return CacheParams{"t", size_kib * 1024ull, ways, lat};
+}
+
+HierarchyParams
+smallHierParams()
+{
+    HierarchyParams p;
+    p.l1 = CacheParams{"l1", 1024, 2, 4};
+    p.l2 = CacheParams{"l2", 4096, 4, 6};
+    p.l3 = CacheParams{"l3", 16384, 4, 27};
+    return p;
 }
 
 TEST(Cache, MissThenHit)
@@ -114,18 +127,8 @@ class HierarchyTest : public ::testing::Test
         : mem(64, 16),
           bus(mem, MemTimingParams{"dram", 4, 1024, 100, 100, 0.4},
               MemTimingParams{"nvram", 4, 1024, 200, 800, 0.4}),
-          hier(2, smallParams(), bus)
+          hier(2, smallHierParams(), bus)
     {
-    }
-
-    static HierarchyParams
-    smallParams()
-    {
-        HierarchyParams p;
-        p.l1 = CacheParams{"l1", 1024, 2, 4};
-        p.l2 = CacheParams{"l2", 4096, 4, 6};
-        p.l3 = CacheParams{"l3", 16384, 4, 27};
-        return p;
     }
 
     PhysMem mem;
@@ -193,6 +196,123 @@ TEST_F(HierarchyTest, InvalidateAllDropsEverything)
     hier.write(0, 0x6000, 0);
     hier.invalidateAll();
     EXPECT_FALSE(hier.isCached(0, 0x6000));
+}
+
+// ---- sharer index ---------------------------------------------------------
+
+class SharerIndexTest : public ::testing::Test
+{
+  protected:
+    static constexpr unsigned kCores = 8; // >= kSharerIndexMinCores
+
+    SharerIndexTest()
+        : mem(64, 16),
+          bus(mem, MemTimingParams{"dram", 4, 1024, 100, 100, 0.4},
+              MemTimingParams{"nvram", 4, 1024, 200, 800, 0.4}),
+          hier(kCores, smallHierParams(), bus)
+    {
+    }
+
+    /** Brute-force ground truth the index must match exactly. */
+    std::uint64_t
+    probeMask(Addr line) const
+    {
+        std::uint64_t mask = 0;
+        for (CoreId c = 0; c < kCores; ++c) {
+            if (hier.l1(c).probe(line) || hier.l2(c).probe(line))
+                mask |= std::uint64_t{1} << c;
+        }
+        return mask;
+    }
+
+    void
+    expectIndexConsistent(const std::vector<Addr> &lines)
+    {
+        for (Addr line : lines) {
+            EXPECT_EQ(hier.sharerIndex().sharers(line), probeMask(line))
+                << "sharer mask diverged for line 0x" << std::hex << line;
+        }
+    }
+
+    PhysMem mem;
+    MemoryBus bus;
+    mutable CacheHierarchy hier;
+};
+
+TEST_F(SharerIndexTest, IndexedOnlyAboveTheCutover)
+{
+    EXPECT_TRUE(hier.sharerIndexed());
+    PhysMem m2(64, 16);
+    MemoryBus b2(m2, MemTimingParams{"dram", 4, 1024, 100, 100, 0.4},
+                 MemTimingParams{"nvram", 4, 1024, 200, 800, 0.4});
+    CacheHierarchy small(CacheHierarchy::kSharerIndexMinCores - 1,
+                         smallHierParams(), b2);
+    EXPECT_FALSE(small.sharerIndexed());
+}
+
+TEST_F(SharerIndexTest, TracksAccessInsertInvalidateRemap)
+{
+    const Addr a = 0x1000, b = 0x2000;
+    hier.read(0, a, 0);
+    hier.read(3, a, 0);
+    expectIndexConsistent({a});
+    EXPECT_EQ(hier.sharerIndex().sharers(a) & 0b1001u, 0b1001u);
+
+    hier.remapLine(3, a, b, 10);
+    expectIndexConsistent({a, b});
+
+    hier.invalidateLine(a);
+    hier.invalidateLine(b);
+    expectIndexConsistent({a, b});
+    EXPECT_EQ(hier.sharerIndex().sharers(a), 0u);
+    EXPECT_EQ(hier.sharerIndex().sharers(b), 0u);
+}
+
+TEST_F(SharerIndexTest, RandomizedOpsKeepMaskExact)
+{
+    // The index must stay bit-exact through every mutation path the
+    // hierarchy has: timed reads/writes (fills + LRU evictions), the
+    // SSP remap, remote shootdowns, abort-path drops, and power
+    // failure.  Any divergence would silently change which peers are
+    // charged coherence traffic.
+    Rng rng(12345);
+    std::vector<Addr> lines;
+    for (unsigned i = 0; i < 48; ++i)
+        lines.push_back(i * kLineSize * 3); // collide across a few sets
+    for (unsigned step = 0; step < 4000; ++step) {
+        const CoreId core =
+            static_cast<CoreId>(rng.nextBounded(kCores));
+        const Addr line = lines[rng.nextBounded(lines.size())];
+        switch (rng.nextBounded(6)) {
+          case 0:
+            hier.read(core, line, step);
+            break;
+          case 1:
+            hier.write(core, line, step);
+            break;
+          case 2:
+            hier.invalidateLine(line);
+            break;
+          case 3:
+            hier.invalidateLineRemote(core, line);
+            break;
+          case 4:
+            hier.remapLine(core, line,
+                           lines[rng.nextBounded(lines.size())], step);
+            break;
+          case 5:
+            if (rng.nextBool(0.02))
+                hier.invalidateAll(); // simulated power failure
+            else
+                hier.read(core, line + kLineSize, step);
+            break;
+        }
+        if (step % 64 == 0)
+            expectIndexConsistent(lines);
+    }
+    expectIndexConsistent(lines);
+    hier.invalidateAll();
+    EXPECT_EQ(hier.sharerIndex().trackedLines(), 0u);
 }
 
 } // namespace

@@ -31,6 +31,79 @@ using sweep::runSweep;
 using sweep::SweepGridOptions;
 using sweep::sweepReport;
 
+// ---- LineSet unit tests ---------------------------------------------------
+
+TEST(LineSet, SortedUniqueInsertAndContains)
+{
+    LineSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(s.insert(0x1c0));
+    EXPECT_TRUE(s.insert(0x040));
+    EXPECT_TRUE(s.insert(0x100));
+    EXPECT_FALSE(s.insert(0x100)); // duplicate
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(s.contains(0x040));
+    EXPECT_TRUE(s.contains(0x1c0));
+    EXPECT_FALSE(s.contains(0x080));
+    // Iteration is address-sorted.
+    std::vector<Addr> got(s.begin(), s.end());
+    EXPECT_EQ(got, (std::vector<Addr>{0x040, 0x100, 0x1c0}));
+}
+
+TEST(LineSet, SpillsPastInlineCapacityAndStaysSorted)
+{
+    LineSet s;
+    // Insert in descending order, past the inline capacity, with dups.
+    const std::size_t n = LineSet::kInlineCapacity * 3;
+    for (std::size_t i = n; i > 0; --i) {
+        EXPECT_TRUE(s.insert(i * kLineSize));
+        EXPECT_FALSE(s.insert(i * kLineSize));
+    }
+    EXPECT_EQ(s.size(), n);
+    Addr prev = 0;
+    for (Addr a : s) {
+        EXPECT_GT(a, prev);
+        prev = a;
+    }
+    for (std::size_t i = 1; i <= n; ++i)
+        EXPECT_TRUE(s.contains(i * kLineSize));
+
+    // clear() recycles the set back to inline storage.
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(s.insert(0x40));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(LineSet, IntersectsIsExactSetIntersection)
+{
+    LineSet a, b;
+    EXPECT_FALSE(intersects(a, b)); // empty vs empty
+    a.insert(0x100);
+    a.insert(0x200);
+    EXPECT_FALSE(intersects(a, b)); // vs empty
+    b.insert(0x300);
+    EXPECT_FALSE(intersects(a, b)); // disjoint ranges (min/max reject)
+    b.insert(0x180);
+    EXPECT_FALSE(intersects(a, b)); // overlapping ranges, no element
+    b.insert(0x200);
+    EXPECT_TRUE(intersects(a, b));
+    EXPECT_TRUE(intersects(b, a)); // symmetric
+}
+
+TEST(LineSet, MoveLeavesSourceEmptyAndReusable)
+{
+    LineSet a;
+    for (std::size_t i = 0; i < LineSet::kInlineCapacity * 2; ++i)
+        a.insert((i + 1) * kLineSize);
+    LineSet b = std::move(a);
+    EXPECT_EQ(b.size(), LineSet::kInlineCapacity * 2);
+    EXPECT_TRUE(a.empty());
+    EXPECT_TRUE(a.insert(0x40));
+    EXPECT_TRUE(a.contains(0x40));
+    EXPECT_EQ(a.size(), 1u);
+}
+
 // ---- ConflictManager unit tests -----------------------------------------
 
 TEST(ConflictManager, WriteWriteConflictInsideTheWindow)

@@ -3,9 +3,14 @@
  * Multi-core correctness: flip-current-bit shootdown of stale peer
  * lines on CoW remap, bulk-synchronous clock alignment after partial
  * rounds, determinism of the scale grid under the parallel sweep
- * runner, contention monotonicity on a Zipf-shared workload, and the
- * TX-bit-aware categorization of L3 victim write-backs.
+ * runner, contention monotonicity on a Zipf-shared workload, the
+ * TX-bit-aware categorization of L3 victim write-backs, and the
+ * replay of contended scale cells against the checked-in report (the
+ * sharer-index/hot-path work must not move a simulated cycle).
  */
+
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -23,6 +28,7 @@ using sweep::buildFigureGrid;
 using sweep::CellResult;
 using sweep::runSweep;
 using sweep::SweepGridOptions;
+using sweep::sweepReport;
 
 TEST(Multicore, CowRemapShootsDownPeerStaleLines)
 {
@@ -269,6 +275,52 @@ TEST(Multicore, L3VictimWritebackCarriesTheTxBit)
     m.caches().write(0, data_line + 4 * kLineSize, 300);
     EXPECT_EQ(m.bus().nvramWrites(WriteCategory::Data), 1u);
     EXPECT_EQ(m.bus().nvramWrites(WriteCategory::Other), 1u);
+}
+
+TEST(Multicore, ContendedZipfCellsMatchTheCheckedInScaleReport)
+{
+    // Bit-identity bar for the host-side hot-path work (sharer index,
+    // posting-indexed validation, flat PhysMem, line sets): replaying
+    // the checked-in scale grid's contended 8-core Zipf cells must
+    // reproduce every simulated metric exactly.  These are the cells
+    // where peer invalidations, shootdowns, and conflict validation
+    // all fire at once — if an optimization moved a single cycle or
+    // reclassified a single conflict, this is where it would show.
+    std::ifstream in(std::string(SSP_SOURCE_DIR) + "/BENCH_scale.json");
+    ASSERT_TRUE(in) << "checked-in BENCH_scale.json missing";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const Json checked_in = Json::parse(buf.str());
+
+    SweepGridOptions opts;
+    opts.workloads = {WorkloadKind::BTreeZipf, WorkloadKind::HashZipf,
+                      WorkloadKind::RbTreeZipf};
+    opts.coreCounts = {8};
+    const auto cells = buildFigureGrid("scale", opts);
+    ASSERT_EQ(cells.size(), 9u); // 3 workloads x 3 backends
+    const auto results = runSweep(cells, 1);
+    const Json report = sweepReport("scale", results);
+
+    std::size_t matched = 0;
+    for (std::size_t i = 0; i < report["cells"].size(); ++i) {
+        const Json &got = report["cells"].at(i);
+        for (std::size_t j = 0; j < checked_in["cells"].size(); ++j) {
+            const Json &want = checked_in["cells"].at(j);
+            if (want["label"].asString() != got["label"].asString())
+                continue;
+            EXPECT_EQ(got["seed"].asString(), want["seed"].asString());
+            EXPECT_EQ(got["metrics"].dump(2), want["metrics"].dump(2))
+                << "cell " << got["label"].asString()
+                << " diverged from the checked-in report";
+            ++matched;
+        }
+    }
+    EXPECT_EQ(matched, 9u);
+    // These cells must actually exercise the conflict machinery.
+    std::uint64_t aborts = 0;
+    for (const CellResult &r : results)
+        aborts += r.run.txAborts;
+    EXPECT_GT(aborts, 0u);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <set>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -325,6 +326,99 @@ TEST(SweepCli, EmptyOrInvalidCountListIsFatalNotASilentDefault)
                  std::runtime_error);
     EXPECT_THROW(parseCountList("--channels", "1,,x"),
                  std::runtime_error);
+}
+
+// ---- host wall-clock harness ---------------------------------------------
+
+TEST(SweepReport, HostTimeIsOptInAndKeepsDefaultReportsByteStable)
+{
+    auto cells = buildFigureGrid("smoke");
+    cells[0].txs = 20;
+    const auto results = runSweep(cells, 1);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    // The runner always measures; only the report opts in.
+    EXPECT_GE(results[0].hostMillis, 0.0);
+
+    const Json plain = sweepReport("smoke", results);
+    EXPECT_FALSE(plain.has("host_ms_total"));
+    EXPECT_FALSE(plain["cells"].at(0).has("host_ms"));
+
+    const Json timed = sweepReport("smoke", results, true);
+    ASSERT_TRUE(timed.has("host_ms_total"));
+    ASSERT_TRUE(timed["cells"].at(0).has("host_ms"));
+    EXPECT_GE(timed["cells"].at(0)["host_ms"].asDouble(), 0.0);
+    EXPECT_GE(timed["host_ms_total"].asDouble(),
+              timed["cells"].at(0)["host_ms"].asDouble());
+
+    // Everything except the host-time fields is identical, so --time
+    // cannot perturb the simulated metrics it annotates.
+    EXPECT_EQ(plain["cells"].at(0)["metrics"].dump(2),
+              timed["cells"].at(0)["metrics"].dump(2));
+}
+
+// ---- scale64 grid ---------------------------------------------------------
+
+TEST(SweepGrid, Scale64GridCoversTheBigMachineTo64Cores)
+{
+    const auto cells = buildFigureGrid("scale64");
+    // 7 core counts x 6 workloads x 3 backends.
+    ASSERT_EQ(cells.size(), 126u);
+    std::set<unsigned> cores;
+    for (const auto &cell : cells) {
+        cores.insert(cell.cores);
+        EXPECT_EQ(cell.figure, "scale64");
+        // The big machine: SSP cache and journal sized for 64 cores,
+        // identical at every core count so the axis measures cores.
+        EXPECT_EQ(cell.base.sspCacheSlots, 8192u);
+        EXPECT_GE(cell.base.caches.l3.sizeBytes, 64u * 1024 * 1024);
+        EXPECT_EQ(cell.txs, 2000u);
+    }
+    EXPECT_EQ(cores, (std::set<unsigned>{1, 2, 4, 8, 16, 32, 64}));
+}
+
+TEST(SweepGrid, Scale64SeedsArePinnedPerWorkloadBackend)
+{
+    SweepGridOptions all;
+    const auto full = buildFigureGrid("scale64", all);
+    SweepGridOptions one;
+    one.coreCounts = {64};
+    const auto only64 = buildFigureGrid("scale64", one);
+    ASSERT_EQ(only64.size(), 18u);
+    // A 64-core cell replays the same stream whether or not the other
+    // core counts were generated (the ordinal is pinned, not
+    // positional).
+    for (const auto &cell : only64) {
+        bool found = false;
+        for (const auto &ref : full) {
+            if (ref.cores == 64 && ref.backend == cell.backend &&
+                ref.workload == cell.workload) {
+                EXPECT_EQ(ref.scale.seed, cell.scale.seed);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(SweepReport, Scale64EmitsPerCoreCountersAtEveryCoreCount)
+{
+    SweepGridOptions opts;
+    opts.coreCounts = {1};
+    opts.workloads = {WorkloadKind::Sps};
+    opts.txs = 20;
+    auto cells = buildFigureGrid("scale64", opts);
+    ASSERT_EQ(cells.size(), 3u);
+    const auto results = runSweep(cells, 1);
+    const Json report = sweepReport("scale64", results);
+    for (std::size_t i = 0; i < report["cells"].size(); ++i) {
+        const Json &m = report["cells"].at(i)["metrics"];
+        // Unlike the older grids (whose single-core reports must stay
+        // byte-identical to the 1-core model), scale64 keeps one
+        // schema across the whole 1..64-core axis.
+        EXPECT_TRUE(m.has("core_busy_cycles"));
+        EXPECT_TRUE(m.has("coherence_flips"));
+        EXPECT_TRUE(m.has("tx_aborts"));
+    }
 }
 
 } // namespace
