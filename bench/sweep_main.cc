@@ -34,16 +34,22 @@ usage(int exit_code)
         "usage: sweep_main --figure <name> [options]\n"
         "\n"
         "  --figure NAME      grid to run: fig5 fig6 fig7 fig8 fig9\n"
-        "                     table3 table45 chan scale scale64 smoke\n"
-        "                     (required)\n"
+        "                     table3 table45 chan scale scale64 queue\n"
+        "                     smoke (required)\n"
         "  --backends LIST    comma-separated subset of ssp,undo,redo,\n"
         "                     shadow (default: the figure's own set)\n"
         "  --workloads LIST   comma-separated subset of Table 3 names\n"
         "                     (e.g. BTree-Rand,SPS; default: all)\n"
         "  --channels LIST    chan grid: NVRAM channel counts to sweep\n"
         "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
-        "  --cores LIST       scale/scale64 grids: core counts to sweep\n"
-        "                     (default: 1,2,4,8 / 1,2,4,8,16,32,64)\n"
+        "  --cores LIST       scale/scale64/queue grids: core counts to\n"
+        "                     sweep (default: 1,2,4,8 /\n"
+        "                     1,2,4,8,16,32,64 / 4,16)\n"
+        "  --load LIST        queue grid: offered loads as factors of\n"
+        "                     measured closed-loop capacity (default:\n"
+        "                     0.3,0.6,0.9,1.2)\n"
+        "  --arrival KIND     queue grid: arrival process — poisson\n"
+        "                     (default), bursty (MMPP-2) or diurnal\n"
         "  --conflict-mode M  concurrent-conflict handling: fcw\n"
         "                     (first-committer-wins, the default),\n"
         "                     lazy (read-set-only validation), off\n"
@@ -71,6 +77,7 @@ struct CliArgs
     std::string jsonPath;
     bool time = false;
     bool quiet = false;
+    bool arrivalSet = false; ///< --arrival was given explicitly
 };
 
 CliArgs
@@ -102,6 +109,15 @@ parseArgs(int argc, char **argv)
                                                : args.grid.coreCounts;
             for (unsigned v : parseCountList(arg, next_value(i)))
                 list.push_back(v);
+        } else if (arg == "--load") {
+            // parseLoadList is fatal on an empty or invalid list, like
+            // the count lists above.
+            for (double v : parseLoadList(arg, next_value(i)))
+                args.grid.loads.push_back(v);
+        } else if (arg == "--arrival") {
+            args.grid.arrival =
+                ssp::serve::parseArrivalKind(next_value(i));
+            args.arrivalSet = true;
         } else if (arg == "--conflict-mode") {
             args.grid.conflictMode = parseConflictMode(next_value(i));
         } else if (arg == "--nvram-device") {
@@ -144,10 +160,19 @@ parseArgs(int argc, char **argv)
         usage(2);
     }
     if (!args.grid.coreCounts.empty() && args.figure != "scale" &&
-        args.figure != "scale64") {
+        args.figure != "scale64" && args.figure != "queue") {
         std::fprintf(stderr,
-                     "--cores only applies to '--figure scale' or "
-                     "'--figure scale64', not '%s'\n",
+                     "--cores only applies to '--figure scale', "
+                     "'--figure scale64' or '--figure queue', not "
+                     "'%s'\n",
+                     args.figure.c_str());
+        usage(2);
+    }
+    if ((!args.grid.loads.empty() || args.arrivalSet) &&
+        args.figure != "queue") {
+        std::fprintf(stderr,
+                     "--load/--arrival only apply to '--figure queue', "
+                     "not '%s'\n",
                      args.figure.c_str());
         usage(2);
     }

@@ -69,4 +69,29 @@ EOF
 python3 "$repo_root/scripts/perf_compare.py" \
     "$repo_root/BENCH_smoke.json" "$build_dir/BENCH_smoke_timed.json"
 
+echo "== queue report schema validation =="
+# The checked-in open-loop grid must carry the serve schema on every
+# cell: the arrival coordinate plus tail-latency/queueing metrics, with
+# every generated request either acked or shed.
+python3 - "$repo_root/BENCH_queue.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["figure"] == "queue", "BENCH_queue.json is not a queue report"
+assert doc["cells"], "queue report has no cells"
+fields = ("p50_cycles", "p99_cycles", "p999_cycles",
+          "mean_queue_depth", "rejected_txs", "offered_load")
+for c in doc["cells"]:
+    assert c.get("ok"), "cell %s failed" % c["label"]
+    assert "arrival" in c, "cell %s lacks the arrival coordinate" % \
+        c["label"]
+    m = c["metrics"]
+    for f in fields:
+        assert f in m, "cell %s lacks %s" % (c["label"], f)
+    assert m["p50_cycles"] <= m["p99_cycles"] <= m["p999_cycles"], \
+        "cell %s has unordered percentiles" % c["label"]
+    assert m["committed_txs"] + m["rejected_txs"] == c["txs"], \
+        "cell %s lost requests" % c["label"]
+print("queue schema ok across %d cells" % len(doc["cells"]))
+EOF
+
 echo "OK"

@@ -1,0 +1,79 @@
+#include "serve/latency_histogram.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace ssp::serve
+{
+
+unsigned
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < (std::uint64_t{1} << kUnitBits))
+        return static_cast<unsigned>(value);
+    // The octave is the position of the leading bit; the next
+    // kSubBucketBits bits select the linear sub-bucket within it.
+    const unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(value));
+    const unsigned sub = static_cast<unsigned>(
+        (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+    return (1u << kUnitBits) + (msb - kUnitBits) * kSubBuckets + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketLowerBound(unsigned index)
+{
+    ssp_assert(index < kBucketCount, "histogram bucket out of range");
+    if (index < (1u << kUnitBits))
+        return index;
+    const unsigned rel = index - (1u << kUnitBits);
+    const unsigned msb = kUnitBits + rel / kSubBuckets;
+    const std::uint64_t sub = rel % kSubBuckets;
+    return (std::uint64_t{1} << msb) + (sub << (msb - kSubBucketBits));
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    ++counts_[bucketIndex(value)];
+    ++total_;
+    if (value > max_)
+        max_ = value;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (unsigned i = 0; i < kBucketCount; ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    if (q > 1.0)
+        q = 1.0;
+    // Exact rank: the ceil(q * N)-th smallest sample, at least the 1st.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_));
+    if (static_cast<double>(rank) < q * static_cast<double>(total_))
+        ++rank;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+        seen += counts_[i];
+        if (seen >= rank)
+            return bucketLowerBound(i);
+    }
+    ssp_panic("histogram rank %llu beyond total %llu",
+              static_cast<unsigned long long>(rank),
+              static_cast<unsigned long long>(total_));
+}
+
+} // namespace ssp::serve

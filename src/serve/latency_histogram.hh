@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-bucket log-scale latency histogram with exact-rank percentiles.
+ *
+ * Per-request commit latencies span many orders of magnitude once a
+ * serving system is pushed toward saturation, so recording them into a
+ * fixed array of log-spaced buckets keeps the capture O(1) per request
+ * and the memory constant regardless of run length.  The layout is the
+ * HDR-histogram log-linear scheme: values below 2^kUnitBits land in
+ * unit-width buckets (recorded exactly), and every power-of-two octave
+ * above that is split into 2^kSubBucketBits linear sub-buckets, so the
+ * quantization error is bounded by 1/2^kSubBucketBits (~3.1%) of the
+ * value everywhere.
+ *
+ * percentile() implements the exact-rank definition: p(q) is the value
+ * of the ceil(q * N)-th smallest recorded sample (1-based), reported as
+ * the lower bound of the bucket that sample landed in — exact whenever
+ * the sample was below 2^kUnitBits.
+ */
+
+#ifndef SSP_SERVE_LATENCY_HISTOGRAM_HH
+#define SSP_SERVE_LATENCY_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ssp::serve
+{
+
+/** Log-linear histogram over unsigned 64-bit values (latency cycles). */
+class LatencyHistogram
+{
+  public:
+    /** Values below 2^kUnitBits are recorded exactly (unit buckets). */
+    static constexpr unsigned kUnitBits = 6;
+    /** Linear sub-buckets per octave above the unit range. */
+    static constexpr unsigned kSubBucketBits = 5;
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+    /** Octaves kUnitBits..63, each split into kSubBuckets buckets. */
+    static constexpr unsigned kBucketCount =
+        (1u << kUnitBits) + (64 - kUnitBits) * kSubBuckets;
+
+    LatencyHistogram() : counts_(kBucketCount, 0) {}
+
+    /** Record one sample. */
+    void record(std::uint64_t value);
+
+    /** Fold @p other into this histogram (per-core merge). */
+    void merge(const LatencyHistogram &other);
+
+    /** Total recorded samples. */
+    std::uint64_t count() const { return total_; }
+
+    /**
+     * Exact-rank percentile: the bucket lower bound of the
+     * ceil(q * count)-th smallest sample (1-based; q clamped to (0, 1]).
+     * 0 when the histogram is empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Largest recorded sample (tracked exactly). 0 when empty. */
+    std::uint64_t maxValue() const { return max_; }
+
+    /** Bucket index a value lands in. */
+    static unsigned bucketIndex(std::uint64_t value);
+
+    /** Smallest value mapping to bucket @p index. */
+    static std::uint64_t bucketLowerBound(unsigned index);
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace ssp::serve
+
+#endif // SSP_SERVE_LATENCY_HISTOGRAM_HH

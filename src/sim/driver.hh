@@ -1,9 +1,18 @@
 /**
  * @file
  * Runs a workload against a backend for N transactions across C
- * simulated cores (round-robin interleave at transaction granularity —
- * locking at the data-structure level serializes conflicting work, as
- * the paper assumes), and collects the metrics the figures plot.
+ * simulated cores (locking at the data-structure level serializes
+ * conflicting work, as the paper assumes), and collects the metrics the
+ * figures plot.
+ *
+ * Two core schedulers are provided.  ScheduleMode::Rounds is the
+ * original bulk-synchronous model: cores take transactions round-robin
+ * and re-align their clocks on a barrier after every round, so the five
+ * checked-in closed-loop grids stay byte-identical.
+ * ScheduleMode::EventDriven dispatches whichever core's clock is lowest
+ * (a min-heap of (next-free-cycle, core), ties broken by core id) with
+ * no barriers — the scheduler the open-loop request server (src/serve/)
+ * is built on.
  */
 
 #ifndef SSP_SIM_DRIVER_HH
@@ -13,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/conflict_manager.hh"
 #include "sim/system_builder.hh"
 
 namespace ssp
@@ -58,6 +68,19 @@ struct RunResult
     std::uint64_t conflictsReadWrite = 0;
     std::uint64_t backoffCycles = 0; ///< total backoff stall charged
 
+    /** @{ Open-loop request-serving metrics (src/serve/); zero on
+     *  closed-loop runs, where no request ever waits in a queue.
+     *  Latency is counted from arrival cycle to commit-ack cycle and
+     *  the percentiles are exact-rank over the merged per-core
+     *  histograms. */
+    std::uint64_t p50Cycles = 0;
+    std::uint64_t p99Cycles = 0;
+    std::uint64_t p999Cycles = 0;
+    double meanQueueDepth = 0;       ///< time-averaged waiting requests
+    std::uint64_t rejectedTxs = 0;   ///< shed by admission control
+    double offeredLoad = 0;          ///< factor of closed-loop capacity
+    /** @} */
+
     /** Transactions per second at the simulated core frequency. */
     double tps() const;
 
@@ -71,12 +94,52 @@ struct RunResult
     double imbalance() const;
 };
 
+/** How the driver interleaves the simulated cores. */
+enum class ScheduleMode
+{
+    /** Round-robin with a clock barrier per round (the original
+     *  bulk-synchronous model; checked-in grids depend on it). */
+    Rounds,
+    /** Dispatch the core with the lowest clock next; no barriers. */
+    EventDriven,
+};
+
 /**
- * Run @p num_txs operations on @p exp, interleaving @p num_cores cores.
- * Core clocks are synchronized at the start; wall time is max core time.
+ * Snapshot of every counter a run's metrics are deltas over, taken at
+ * measurement start.  Shared by the closed-loop driver here and the
+ * open-loop request server (src/serve/), so both fill RunResult through
+ * the same arithmetic.
+ */
+struct RunBaseline
+{
+    Cycles clock = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t nvramWrites = 0;
+    std::uint64_t loggingWrites = 0;
+    std::uint64_t dataWrites = 0;
+    std::uint64_t consolidationWrites = 0;
+    std::uint64_t checkpointWrites = 0;
+    std::uint64_t coherenceFlips = 0;
+    std::uint64_t coherenceInvalidations = 0;
+    std::uint64_t coherenceShootdowns = 0;
+    ConflictStats conflicts{};
+};
+
+/** Snapshot the current counter values of @p exp's machine/backend. */
+RunBaseline captureRunBaseline(Experiment &exp);
+
+/** Fill @p res's delta metrics from the current counters vs @p base. */
+void finishRunMetrics(RunResult &res, Experiment &exp,
+                      const RunBaseline &base);
+
+/**
+ * Run @p num_txs operations on @p exp, interleaving @p num_cores cores
+ * under @p mode.  Core clocks are synchronized at the start; wall time
+ * is max core time.
  */
 RunResult runExperiment(Experiment &exp, std::uint64_t num_txs,
-                        unsigned num_cores);
+                        unsigned num_cores,
+                        ScheduleMode mode = ScheduleMode::Rounds);
 
 } // namespace ssp
 

@@ -1,5 +1,6 @@
 #include "sim/report.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -236,15 +237,14 @@ Json::members() const
 std::string
 jsonNumberToString(double v)
 {
-    // Shortest decimal form that parses back to exactly v: try
-    // increasing precision until the round-trip is exact (17 always is).
+    // std::to_chars emits the shortest decimal form that parses back to
+    // exactly v, and — unlike the printf family — is locale-independent
+    // by definition, so emit -> parse -> emit is a fixed point under any
+    // LC_NUMERIC.
     char buf[64];
-    for (int prec = 15; prec <= 17; ++prec) {
-        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-        if (std::strtod(buf, nullptr) == v)
-            break;
-    }
-    return buf;
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    ssp_assert(res.ec == std::errc(), "double did not fit a 64-char buf");
+    return std::string(buf, res.ptr);
 }
 
 namespace

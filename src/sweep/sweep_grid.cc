@@ -1,6 +1,7 @@
 #include "sweep/sweep_grid.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -75,6 +76,31 @@ parseCountList(const std::string &flag, const std::string &list)
     return out;
 }
 
+std::vector<double>
+parseLoadList(const std::string &flag, const std::string &list)
+{
+    std::vector<double> out;
+    for (const std::string &item : splitCommas(list)) {
+        double v = 0;
+        try {
+            std::size_t used = 0;
+            v = std::stod(item, &used);
+            if (used != item.size())
+                v = 0; // trailing junk ("0.6x") is invalid too
+        } catch (const std::exception &) {
+            v = 0;
+        }
+        if (!(v > 0) || v > 10) {
+            ssp_fatal("%s values must be decimals in (0, 10], got '%s'",
+                      flag.c_str(), item.c_str());
+        }
+        out.push_back(v);
+    }
+    if (out.empty())
+        ssp_fatal("%s: empty load list", flag.c_str());
+    return out;
+}
+
 SspConfig
 paperConfig(unsigned cores)
 {
@@ -139,6 +165,13 @@ SweepCell::label() const
         out += "/p" + std::to_string(keyShards);
     if (conflictMode != ConflictMode::FirstCommitterWins)
         out += std::string("/cc-") + conflictModeName(conflictMode);
+    if (offeredLoad > 0) {
+        // Loads are encoded in percent ("load120") — integers keep the
+        // label byte-stable regardless of float-formatting locale.
+        out += std::string("/") + serve::arrivalKindName(arrival) +
+               "/load" +
+               std::to_string(std::lround(offeredLoad * 100));
+    }
     return out;
 }
 
@@ -167,6 +200,7 @@ knownFigures()
         "chan",
         "scale",
         "scale64",
+        "queue",
         "smoke",
     };
 }
@@ -246,6 +280,46 @@ defaultBigCoreList()
     return {1, 2, 4, 8, 16, 32, 64};
 }
 
+/** Core counts the queue grid sweeps by default. */
+std::vector<unsigned>
+defaultQueueCoreList()
+{
+    return {4, 16};
+}
+
+/** Offered-load factors the queue grid sweeps by default: comfortable,
+ *  moderate, near-saturation and past-saturation. */
+std::vector<double>
+defaultLoadList()
+{
+    return {0.3, 0.6, 0.9, 1.2};
+}
+
+/** The three paper designs every scaling grid compares. */
+std::vector<BackendKind>
+scaleBackends()
+{
+    return {BackendKind::Ssp, BackendKind::UndoLog, BackendKind::RedoLog};
+}
+
+/** Workloads whose keyed operations the scaling grids partition into
+ *  per-core shards (the no-sharing scenario). */
+bool
+partitionedWorkload(WorkloadKind w)
+{
+    return w == WorkloadKind::BTreeRand || w == WorkloadKind::HashRand;
+}
+
+/** Workloads of the queue grid: one point per sharing scenario —
+ *  shared-uniform (SPS), Zipf-contended (BTree) and partitioned
+ *  (Hash-Rand, per-core key shards). */
+std::vector<WorkloadKind>
+queueWorkloads()
+{
+    return {WorkloadKind::Sps, WorkloadKind::BTreeZipf,
+            WorkloadKind::HashRand};
+}
+
 /** Workloads of the scale grid: shared-uniform (SPS), partitioned
  *  (-Rand, per-core key shards) and Zipf-contended (shared hotspot)
  *  scenarios.  SPS first so the (SPS, SSP) seed ordinal is 0 — the
@@ -258,6 +332,36 @@ scaleWorkloads()
     return {WorkloadKind::Sps,       WorkloadKind::BTreeRand,
             WorkloadKind::HashRand,  WorkloadKind::BTreeZipf,
             WorkloadKind::HashZipf,  WorkloadKind::RbTreeZipf};
+}
+
+/**
+ * Emit one cell per (workload, backend) with the seed ordinal pinned to
+ * the pair's position in the plane — the pinning idiom every axis-sweep
+ * grid (chan, scale, scale64, queue) shares: cells that differ only in
+ * the swept axis value replay the identical operation stream, so the
+ * axis measures machine effects, not reseeded noise.  @p customize
+ * fills each cell's axis-specific knobs (machine config, cores,
+ * channels, load, sharding) before it is emitted.
+ */
+template <typename CustomizeFn, typename EmitFn>
+void
+emitSeedPinnedPlane(const std::vector<WorkloadKind> &workloads,
+                    const std::vector<BackendKind> &backends,
+                    std::uint64_t txs, CustomizeFn &&customize,
+                    EmitFn &&emit)
+{
+    std::int64_t seed_ordinal = 0;
+    for (WorkloadKind w : workloads) {
+        for (BackendKind b : backends) {
+            SweepCell cell;
+            cell.backend = b;
+            cell.workload = w;
+            cell.seedOrdinal = seed_ordinal++;
+            cell.txs = txs;
+            customize(cell);
+            emit(std::move(cell));
+        }
+    }
 }
 
 /** Generates the unfiltered grid for one figure via emit(). */
@@ -365,21 +469,15 @@ generateCells(const std::string &figure, std::uint64_t txs,
         const std::vector<unsigned> channel_list =
             opts.channels.empty() ? defaultChannelList() : opts.channels;
         for (unsigned channels : channel_list) {
-            std::int64_t seed_ordinal = 0;
-            for (WorkloadKind w : microbenchmarks()) {
-                for (BackendKind b : paperBackends()) {
-                    SweepCell cell;
-                    cell.backend = b;
-                    cell.workload = w;
+            emitSeedPinnedPlane(
+                microbenchmarks(), paperBackends(), txs,
+                [&](SweepCell &cell) {
                     cell.base = paperConfig(1);
                     cell.base.interleaveGranularity =
                         InterleaveGranularity::Page;
                     cell.nvramChannels = channels;
-                    cell.seedOrdinal = seed_ordinal++;
-                    cell.txs = txs;
-                    emit(std::move(cell));
-                }
-            }
+                },
+                emit);
         }
     } else if (figure == "scale") {
         // Core scaling on the smoke machine: every paper design across
@@ -393,26 +491,16 @@ generateCells(const std::string &figure, std::uint64_t txs,
         // single-core timing regressions.
         const std::vector<unsigned> core_list =
             opts.coreCounts.empty() ? defaultCoreList() : opts.coreCounts;
-        const std::vector<BackendKind> backends = {
-            BackendKind::Ssp, BackendKind::UndoLog, BackendKind::RedoLog};
         for (unsigned cores : core_list) {
-            std::int64_t seed_ordinal = 0;
-            for (WorkloadKind w : scaleWorkloads()) {
-                const bool partitioned = (w == WorkloadKind::BTreeRand ||
-                                          w == WorkloadKind::HashRand);
-                for (BackendKind b : backends) {
-                    SweepCell cell;
-                    cell.backend = b;
-                    cell.workload = w;
+            emitSeedPinnedPlane(
+                scaleWorkloads(), scaleBackends(), txs,
+                [&](SweepCell &cell) {
                     cell.cores = cores;
                     cell.base = smokeConfig();
-                    cell.seedOrdinal = seed_ordinal++;
-                    if (partitioned && cores > 1)
+                    if (partitionedWorkload(cell.workload) && cores > 1)
                         cell.keyShards = cores;
-                    cell.txs = txs;
-                    emit(std::move(cell));
-                }
-            }
+                },
+                emit);
         }
     } else if (figure == "scale64") {
         // Core scaling on the big machine: the same designs and
@@ -425,25 +513,45 @@ generateCells(const std::string &figure, std::uint64_t txs,
         const std::vector<unsigned> core_list =
             opts.coreCounts.empty() ? defaultBigCoreList()
                                     : opts.coreCounts;
-        const std::vector<BackendKind> backends = {
-            BackendKind::Ssp, BackendKind::UndoLog, BackendKind::RedoLog};
         for (unsigned cores : core_list) {
-            std::int64_t seed_ordinal = 0;
-            for (WorkloadKind w : scaleWorkloads()) {
-                const bool partitioned = (w == WorkloadKind::BTreeRand ||
-                                          w == WorkloadKind::HashRand);
-                for (BackendKind b : backends) {
-                    SweepCell cell;
-                    cell.backend = b;
-                    cell.workload = w;
+            emitSeedPinnedPlane(
+                scaleWorkloads(), scaleBackends(), txs,
+                [&](SweepCell &cell) {
                     cell.cores = cores;
                     cell.base = bigConfig(cores);
-                    cell.seedOrdinal = seed_ordinal++;
-                    if (partitioned && cores > 1)
+                    if (partitionedWorkload(cell.workload) && cores > 1)
                         cell.keyShards = cores;
-                    cell.txs = txs;
-                    emit(std::move(cell));
-                }
+                },
+                emit);
+        }
+    } else if (figure == "queue") {
+        // Open-loop tail latency on the big machine: the three paper
+        // designs x three sharing scenarios under open-loop arrivals at
+        // offered loads from comfortable (0.3x measured closed-loop
+        // capacity) to past saturation (1.2x), at 4 and 16 cores.  Seed
+        // ordinals are pinned per (workload, backend), so every
+        // (cores, load) point replays the identical key stream — the
+        // load axis measures queueing delay, not reseeded noise.
+        const std::vector<unsigned> core_list =
+            opts.coreCounts.empty() ? defaultQueueCoreList()
+                                    : opts.coreCounts;
+        const std::vector<double> load_list =
+            opts.loads.empty() ? defaultLoadList() : opts.loads;
+        for (unsigned cores : core_list) {
+            for (double load : load_list) {
+                emitSeedPinnedPlane(
+                    queueWorkloads(), scaleBackends(), txs,
+                    [&](SweepCell &cell) {
+                        cell.cores = cores;
+                        cell.base = bigConfig(cores);
+                        cell.offeredLoad = load;
+                        cell.arrival = opts.arrival;
+                        if (partitionedWorkload(cell.workload) &&
+                            cores > 1) {
+                            cell.keyShards = cores;
+                        }
+                    },
+                    emit);
             }
         }
     } else if (figure == "smoke") {
@@ -455,7 +563,15 @@ generateCells(const std::string &figure, std::uint64_t txs,
         cell.txs = txs;
         emit(std::move(cell));
     } else {
-        ssp_fatal("unknown sweep figure '%s'", figure.c_str());
+        // List the known grids so a typo is a one-round-trip fix.
+        std::string known;
+        for (const std::string &name : knownFigures()) {
+            if (!known.empty())
+                known += ", ";
+            known += name;
+        }
+        ssp_fatal("unknown sweep figure '%s' (known grids: %s)",
+                  figure.c_str(), known.c_str());
     }
 }
 
@@ -482,6 +598,11 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
     // leaving each multi-core cell long enough to time meaningfully.
     if (opts.txs == 0 && figure == "scale64")
         txs = 2000;
+    // The queue grid serves 2000 open-loop requests per cell — enough
+    // samples for an exact-rank p999 while keeping the 72-cell grid
+    // (plus per-cell calibration) affordable.
+    if (opts.txs == 0 && figure == "queue")
+        txs = 2000;
 
     // Only the chan grid sweeps channel counts; failing beats silently
     // handing back 1-channel cells labeled as a channel experiment.
@@ -490,11 +611,17 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
                   "not '%s'",
                   figure.c_str());
     }
-    // Likewise, only the core-scaling grids sweep core counts.
+    // Likewise, only the core-scaling grids sweep core counts...
     if (!opts.coreCounts.empty() && figure != "scale" &&
-        figure != "scale64") {
-        ssp_fatal("the cores option only applies to the 'scale' and "
-                  "'scale64' grids, not '%s'",
+        figure != "scale64" && figure != "queue") {
+        ssp_fatal("the cores option only applies to the 'scale', "
+                  "'scale64' and 'queue' grids, not '%s'",
+                  figure.c_str());
+    }
+    // ... and only the open-loop queue grid sweeps offered loads.
+    if (!opts.loads.empty() && figure != "queue") {
+        ssp_fatal("the loads option only applies to the 'queue' grid, "
+                  "not '%s'",
                   figure.c_str());
     }
     // Per-cell key sharding is a grid decision (the scale grid's

@@ -20,6 +20,7 @@
 
 #include "baselines/backend_factory.hh"
 #include "core/config.hh"
+#include "serve/arrival.hh"
 #include "workloads/workload_factory.hh"
 
 namespace ssp::sweep
@@ -73,6 +74,11 @@ struct SweepCell
     unsigned keyShards = 1;
     /** Conflict handling; non-default modes tag the label and report. */
     ConflictMode conflictMode = ConflictMode::FirstCommitterWins;
+    /** queue-grid knob: offered load as a factor of measured closed-loop
+     *  capacity; 0 = closed loop (every non-queue grid). */
+    double offeredLoad = 0;
+    /** queue-grid knob: the open-loop arrival process. */
+    serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
 
     /**
      * Seed-derivation ordinal override; -1 derives from the cell's
@@ -111,10 +117,16 @@ struct SweepGridOptions
      *  Unlike the backend/workload filters this changes the grid shape,
      *  so per-cell seeds follow the requested list. */
     std::vector<unsigned> channels{};
-    /** scale grid: core counts to sweep; empty = {1, 2, 4, 8}.  Seeds
-     *  are pinned per (workload, backend), so the list's shape does not
-     *  change any cell's stream. */
+    /** scale/scale64/queue grids: core counts to sweep; empty = the
+     *  grid default.  Seeds are pinned per (workload, backend), so the
+     *  list's shape does not change any cell's stream. */
     std::vector<unsigned> coreCounts{};
+    /** queue grid: offered-load factors to sweep; empty =
+     *  {0.3, 0.6, 0.9, 1.2}.  Seeds are pinned per (workload, backend),
+     *  so the list's shape does not change any cell's stream. */
+    std::vector<double> loads{};
+    /** queue grid: arrival process applied to every cell. */
+    serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
     /** NVRAM device preset applied to every cell of the grid. */
     NvramDevice nvramDevice = NvramDevice::PaperPcm;
     /** Conflict handling applied to every cell of the grid. */
@@ -127,8 +139,9 @@ std::vector<std::string> knownFigures();
 /**
  * Build the cell grid reproducing @p figure ("fig5".."fig9", "table3",
  * "table45", the channel-scaling "chan" grid, the core-scaling "scale"
- * grid, or the tiny CI "smoke" grid), then apply the option filters.
- * Fatal on unknown figure names.
+ * and "scale64" grids, the open-loop tail-latency "queue" grid, or the
+ * tiny CI "smoke" grid), then apply the option filters.  Fatal on
+ * unknown figure names (the message lists the known grids).
  */
 std::vector<SweepCell> buildFigureGrid(const std::string &figure,
                                        const SweepGridOptions &opts = {});
@@ -147,6 +160,15 @@ std::vector<std::string> splitCommas(const std::string &list);
  */
 std::vector<unsigned> parseCountList(const std::string &flag,
                                      const std::string &list);
+
+/**
+ * Parse a comma-separated offered-load list for @p flag ("--load"):
+ * every item must be a decimal in (0, 10], and the list must be
+ * non-empty — an empty or invalid list is fatal, never a silent
+ * fall-back to the grid default.
+ */
+std::vector<double> parseLoadList(const std::string &flag,
+                                  const std::string &list);
 
 } // namespace ssp::sweep
 

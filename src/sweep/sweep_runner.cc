@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "serve/server.hh"
 #include "sim/system_builder.hh"
 
 namespace ssp::sweep
@@ -15,6 +16,9 @@ namespace ssp::sweep
 
 namespace
 {
+
+/** Ordinal separating a cell's arrival stream from its key stream. */
+constexpr std::uint64_t kArrivalSeedOrdinal = 101;
 
 CellResult
 runOneCell(const SweepCell &cell)
@@ -25,7 +29,20 @@ runOneCell(const SweepCell &cell)
     try {
         Experiment exp = buildExperiment(cell.backend, cell.workload,
                                          cell.config(), cell.scale);
-        res.run = runExperiment(exp, cell.txs, cell.cores);
+        if (cell.offeredLoad > 0) {
+            // Open-loop cell: txs counts generated requests, and the
+            // arrival process draws from its own stream so the key
+            // stream stays identical to the closed-loop cells'.
+            serve::ServeParams params;
+            params.arrival = cell.arrival;
+            params.offeredLoad = cell.offeredLoad;
+            params.seed =
+                deriveCellSeed(cell.scale.seed, kArrivalSeedOrdinal);
+            res.run = serve::runServeExperiment(exp, cell.txs,
+                                                cell.cores, params);
+        } else {
+            res.run = runExperiment(exp, cell.txs, cell.cores);
+        }
         res.ok = true;
     } catch (const std::exception &e) {
         res.error = e.what();
@@ -125,6 +142,11 @@ sweepReport(const std::string &figure,
         if (r.cell.conflictMode != ConflictMode::FirstCommitterWins)
             c.set("conflict_mode",
                   Json::str(conflictModeName(r.cell.conflictMode)));
+        // Open-loop coordinates exist only on serve cells, so every
+        // closed-loop report stays byte-identical.
+        if (r.cell.offeredLoad > 0)
+            c.set("arrival",
+                  Json::str(serve::arrivalKindName(r.cell.arrival)));
         // Seeds span the full 64-bit range, past the 2^53 integers a
         // JSON number can hold exactly — emit them as hex strings.
         char seed_hex[32];
@@ -190,6 +212,17 @@ sweepReport(const std::string &figure,
             m.set("conflicts_read_write",
                   Json::number(r.run.conflictsReadWrite));
             m.set("backoff_cycles", Json::number(r.run.backoffCycles));
+        }
+        // Tail-latency metrics exist only on open-loop serve cells —
+        // a closed-loop run has no queues, so no request ever waits.
+        if (r.cell.offeredLoad > 0) {
+            m.set("p50_cycles", Json::number(r.run.p50Cycles));
+            m.set("p99_cycles", Json::number(r.run.p99Cycles));
+            m.set("p999_cycles", Json::number(r.run.p999Cycles));
+            m.set("mean_queue_depth",
+                  Json::number(r.run.meanQueueDepth));
+            m.set("rejected_txs", Json::number(r.run.rejectedTxs));
+            m.set("offered_load", Json::number(r.run.offeredLoad));
         }
         c.set("metrics", std::move(m));
         cells.push(std::move(c));

@@ -65,6 +65,22 @@ TEST(SweepGrid, KnownFiguresBuildNonEmptyGrids)
     EXPECT_THROW(buildFigureGrid("fig42"), std::runtime_error);
 }
 
+TEST(SweepGrid, UnknownFigureErrorListsEveryKnownGrid)
+{
+    // A typo'd --figure must be a one-round-trip fix: the error names
+    // all the grids the caller could have meant.
+    try {
+        buildFigureGrid("fig42");
+        FAIL() << "unknown figure did not throw";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("fig42"), std::string::npos);
+        EXPECT_NE(msg.find("known grids:"), std::string::npos);
+        for (const std::string &figure : knownFigures())
+            EXPECT_NE(msg.find(figure), std::string::npos) << figure;
+    }
+}
+
 TEST(SweepGrid, FigureShapesMatchTheBenches)
 {
     // fig5: 2 thread counts x 7 microbenchmarks x 3 designs.
@@ -304,6 +320,29 @@ TEST(SweepReport, JsonParserHandlesEscapesAndNesting)
     EXPECT_THROW(Json::parse("[0x10]"), std::runtime_error);
 }
 
+TEST(SweepReport, NumberFormattingIsAShortestRoundTripFixedPoint)
+{
+    // emit -> parse -> emit must be the identity for any double, and
+    // integers must keep their plain form (no ".0", no exponent) so
+    // checked-in reports stay byte-stable.
+    const std::vector<double> tricky = {
+        0.0,       0.1,     0.3,           1.0 / 3.0,
+        2.5e-7,    1e-9,    12345.6789,    0.30000000000000004,
+        1e20,      -42.125, 9007199254740992.0,
+        5096.887692307692, // a real tps value from BENCH_smoke.json
+    };
+    for (double v : tricky) {
+        const std::string s = jsonNumberToString(v);
+        const double parsed = Json::parse("[" + s + "]").at(0).asDouble();
+        EXPECT_EQ(parsed, v) << s;
+        EXPECT_EQ(jsonNumberToString(parsed), s) << s;
+    }
+    EXPECT_EQ(jsonNumberToString(4000.0), "4000");
+    EXPECT_EQ(jsonNumberToString(0.0), "0");
+    EXPECT_EQ(jsonNumberToString(-1.0), "-1");
+    EXPECT_EQ(jsonNumberToString(0.5), "0.5");
+}
+
 TEST(SweepCli, CountListParsesValidInput)
 {
     EXPECT_EQ(parseCountList("--cores", "1,2,4,8"),
@@ -419,6 +458,116 @@ TEST(SweepReport, Scale64EmitsPerCoreCountersAtEveryCoreCount)
         EXPECT_TRUE(m.has("coherence_flips"));
         EXPECT_TRUE(m.has("tx_aborts"));
     }
+}
+
+// ---- queue grid ------------------------------------------------------------
+
+TEST(SweepGrid, QueueGridCoversLoadsCoresAndSharingScenarios)
+{
+    const auto cells = buildFigureGrid("queue");
+    // 2 core counts x 4 loads x 3 workloads x 3 backends.
+    ASSERT_EQ(cells.size(), 2u * 4u * 3u * 3u);
+    std::set<unsigned> cores;
+    std::set<std::string> labels;
+    for (const SweepCell &cell : cells) {
+        cores.insert(cell.cores);
+        EXPECT_GT(cell.offeredLoad, 0.0);
+        EXPECT_EQ(cell.arrival, serve::ArrivalKind::Poisson);
+        EXPECT_EQ(cell.txs, 2000u);
+        // Big machine at every cell, like scale64.
+        EXPECT_EQ(cell.base.sspCacheSlots, 8192u);
+        // Partitioned scenario: Hash-Rand shards its keys per core.
+        if (cell.workload == WorkloadKind::HashRand)
+            EXPECT_EQ(cell.keyShards, cell.cores);
+        else
+            EXPECT_EQ(cell.keyShards, 1u);
+        labels.insert(cell.label());
+    }
+    EXPECT_EQ(cores, (std::set<unsigned>{4, 16}));
+    // Labels carry the open-loop coordinates and stay unique.
+    EXPECT_EQ(labels.size(), cells.size());
+    EXPECT_TRUE(labels.count("queue/SSP/SPS/c4/poisson/load30"));
+    EXPECT_TRUE(labels.count("queue/REDO-LOG/Hash-Rand/c16/p16/"
+                             "poisson/load120"));
+}
+
+TEST(SweepGrid, QueueSeedsArePinnedAcrossLoadsAndCores)
+{
+    // Cells differing only in offered load or core count replay the
+    // identical key stream — the load axis measures queueing delay on
+    // the same work.
+    const auto cells = buildFigureGrid("queue");
+    for (const SweepCell &a : cells) {
+        for (const SweepCell &b : cells) {
+            if (a.backend == b.backend && a.workload == b.workload) {
+                EXPECT_EQ(a.scale.seed, b.scale.seed);
+            }
+        }
+    }
+}
+
+TEST(SweepGrid, QueueOnlyOptionsAreRejectedElsewhere)
+{
+    SweepGridOptions opts;
+    opts.loads = {0.5};
+    EXPECT_THROW(buildFigureGrid("fig5", opts), std::runtime_error);
+    EXPECT_THROW(buildFigureGrid("scale", opts), std::runtime_error);
+    opts.loads.clear();
+    opts.coreCounts = {4};
+    EXPECT_NO_THROW(buildFigureGrid("queue", opts));
+}
+
+TEST(SweepCli, LoadListParsesValidInputAndRejectsGarbage)
+{
+    EXPECT_EQ(parseLoadList("--load", "0.3,0.6,1.2"),
+              (std::vector<double>{0.3, 0.6, 1.2}));
+    EXPECT_EQ(parseLoadList("--load", "2"), (std::vector<double>{2.0}));
+    EXPECT_THROW(parseLoadList("--load", ""), std::runtime_error);
+    EXPECT_THROW(parseLoadList("--load", "0"), std::runtime_error);
+    EXPECT_THROW(parseLoadList("--load", "-0.5"), std::runtime_error);
+    EXPECT_THROW(parseLoadList("--load", "0.6x"), std::runtime_error);
+    EXPECT_THROW(parseLoadList("--load", "eleven"), std::runtime_error);
+    EXPECT_THROW(parseLoadList("--load", "12"), std::runtime_error);
+}
+
+TEST(SweepReport, QueueCellsCarryTailLatencyMetricsAndCoordinates)
+{
+    SweepGridOptions opts;
+    opts.coreCounts = {2};
+    opts.loads = {1.0};
+    opts.workloads = {WorkloadKind::Sps};
+    opts.backends = {BackendKind::Ssp};
+    opts.txs = 120;
+    opts.arrival = serve::ArrivalKind::Bursty;
+    const auto cells = buildFigureGrid("queue", opts);
+    ASSERT_EQ(cells.size(), 1u);
+    const auto results = runSweep(cells, 1);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    const Json report =
+        Json::parse(sweepReport("queue", results).dump(2));
+    const Json &c = report["cells"].at(0);
+    EXPECT_EQ(c["arrival"].asString(), "bursty");
+    const Json &m = c["metrics"];
+    EXPECT_TRUE(m.has("p50_cycles"));
+    EXPECT_TRUE(m.has("p99_cycles"));
+    EXPECT_TRUE(m.has("p999_cycles"));
+    EXPECT_TRUE(m.has("mean_queue_depth"));
+    EXPECT_TRUE(m.has("rejected_txs"));
+    EXPECT_EQ(m["offered_load"].asDouble(), 1.0);
+    EXPECT_GT(m["p50_cycles"].asUint(), 0u);
+    EXPECT_GE(m["p99_cycles"].asUint(), m["p50_cycles"].asUint());
+    // Every request is accounted for: acked + shed == generated.
+    EXPECT_EQ(m["committed_txs"].asUint() + m["rejected_txs"].asUint(),
+              120u);
+
+    // Closed-loop reports must not grow the serve fields.
+    const auto smoke_cells = buildFigureGrid("smoke");
+    const auto smoke = runSweep(smoke_cells, 1);
+    const Json smoke_report =
+        Json::parse(sweepReport("smoke", smoke).dump(2));
+    EXPECT_FALSE(smoke_report["cells"].at(0).has("arrival"));
+    EXPECT_FALSE(
+        smoke_report["cells"].at(0)["metrics"].has("p99_cycles"));
 }
 
 } // namespace
