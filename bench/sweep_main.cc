@@ -57,6 +57,12 @@ usage(int exit_code)
         "                     stt-mram, flash, dram-only (default:\n"
         "                     paper-pcm, the Table 2 device)\n"
         "  --jobs N           worker threads (default 1)\n"
+        "  --cell-threads N   host threads per cell (default 1):\n"
+        "                     N-1 ghost speculation threads prefetch\n"
+        "                     ahead of each cell's simulation; results\n"
+        "                     are bit-identical for any N.  Shares the\n"
+        "                     host-thread budget with --jobs (workers\n"
+        "                     are clamped so jobs*N fits the machine)\n"
         "  --txs N            transactions per cell (default: figure)\n"
         "  --seed N           base RNG seed (default 42)\n"
         "  --json PATH        output path (default BENCH_<figure>.json)\n"
@@ -74,6 +80,7 @@ struct CliArgs
     std::string figure;
     SweepGridOptions grid;
     unsigned jobs = 1;
+    unsigned cellThreads = 1;
     std::string jsonPath;
     bool time = false;
     bool quiet = false;
@@ -125,6 +132,9 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--jobs") {
             args.jobs = static_cast<unsigned>(
                 std::stoul(next_value(i)));
+        } else if (arg == "--cell-threads") {
+            // Fatal on anything outside [1, 64], like the count lists.
+            args.cellThreads = parseCellThreads(next_value(i));
         } else if (arg == "--txs") {
             args.grid.txs = std::stoull(next_value(i));
         } else if (arg == "--seed") {
@@ -197,10 +207,14 @@ try {
                      args.figure.c_str());
         return 2;
     }
-    std::printf("%s", banner("sweep " + args.figure + ": " +
-                             std::to_string(cells.size()) + " cell(s), " +
-                             std::to_string(args.jobs) + " job(s)")
-                          .c_str());
+    std::string summary = "sweep " + args.figure + ": " +
+                          std::to_string(cells.size()) + " cell(s), " +
+                          std::to_string(args.jobs) + " job(s)";
+    if (args.cellThreads > 1) {
+        summary +=
+            ", " + std::to_string(args.cellThreads) + " cell thread(s)";
+    }
+    std::printf("%s", banner(summary).c_str());
 
     CellCallback progress;
     if (!args.quiet) {
@@ -214,7 +228,7 @@ try {
     }
 
     const std::vector<CellResult> results =
-        runSweep(cells, args.jobs, progress);
+        runSweep(cells, args.jobs, progress, args.cellThreads);
 
     TextTable table({"cell", "tps", "nvram writes", "logging writes",
                      "avg lines/tx"});

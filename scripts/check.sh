@@ -3,21 +3,32 @@
 # Full local CI pipeline: configure, build, run the test suite, then
 # prove the sweep/JSON pipeline end to end with one smoke cell.
 #
-# Usage: scripts/check.sh [--lint] [build-dir]  (default: build)
+# Usage: scripts/check.sh [--lint] [--tsan] [build-dir]  (default: build)
 #
 #   --lint   also run clang-format --dry-run --Werror over every
 #            tracked C++ source (mirrors the CI format-lint job).
+#   --tsan   configure a separate Debug build with -fsanitize=thread
+#            and run ctest only (mirrors the CI gcc-debug-tsan leg);
+#            the sweep/JSON pipeline steps are skipped.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 run_lint=0
-if [ "${1:-}" = "--lint" ]; then
-    run_lint=1
-    shift
+run_tsan=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --lint) run_lint=1; shift ;;
+        --tsan) run_tsan=1; shift ;;
+        *) break ;;
+    esac
+done
+if [ "$run_tsan" = 1 ]; then
+    build_dir="${1:-$repo_root/build-tsan}"
+else
+    build_dir="${1:-$repo_root/build}"
 fi
-build_dir="${1:-$repo_root/build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 if [ "$run_lint" = 1 ]; then
@@ -31,12 +42,26 @@ if [ "$run_lint" = 1 ]; then
 fi
 
 echo "== configure =="
-cmake -B "$build_dir" -S "$repo_root"
+if [ "$run_tsan" = 1 ]; then
+    cmake -B "$build_dir" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread"
+else
+    cmake -B "$build_dir" -S "$repo_root"
+fi
 
 echo "== build (-j$jobs) =="
 cmake --build "$build_dir" -j "$jobs"
 
 echo "== ctest =="
+if [ "$run_tsan" = 1 ]; then
+    # Any TSan report fails the run; the suite forces ghost threads on
+    # via SSP_FORCE_GHOSTS so even single-CPU hosts race-test them.
+    TSAN_OPTIONS=halt_on_error=1 \
+        ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+    echo "OK (tsan)"
+    exit 0
+fi
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
 echo "== smoke sweep =="

@@ -196,8 +196,8 @@ ShadowPagingBackend::recover()
     // Rebuild the pool: reserved-range pages plus retired heap pages —
     // everything below the pool end that the page table does not map.
     std::unordered_set<Ppn> mapped;
-    for (const auto &kv : machine_->pt().entries())
-        mapped.insert(kv.second);
+    machine_->pt().forEachEntry(
+        [&](Vpn, Ppn ppn) { mapped.insert(ppn); });
     std::vector<Ppn> free_list;
     const Ppn end = cfg().shadowPoolBase() + cfg().shadowPoolPages;
     for (Ppn ppn = 0; ppn < end; ++ppn) {

@@ -15,13 +15,15 @@ Cache::Cache(const CacheParams &params) : params_(params)
     numSets_ = num_lines / params.ways;
     ssp_assert(numSets_ > 0);
     numLines_ = num_lines;
-    // calloc: all-zero Lines are valid==false, and the OS hands back
+    // calloc: all-zero tag words are valid==false, and the OS hands back
     // lazily-mapped zero pages — a 96 MiB L3's tag array costs nothing
     // until its sets are actually filled (every sweep cell builds a
     // fresh machine, so eager zeroing was measurable per-cell setup).
-    lines_.reset(static_cast<Line *>(
-        std::calloc(num_lines, sizeof(Line))));
-    ssp_assert(lines_ != nullptr);
+    tags_.reset(static_cast<std::uint64_t *>(
+        std::calloc(num_lines, sizeof(std::uint64_t))));
+    lru_.reset(static_cast<std::uint64_t *>(
+        std::calloc(num_lines, sizeof(std::uint64_t))));
+    ssp_assert(tags_ != nullptr && lru_ != nullptr);
 }
 
 std::uint64_t
@@ -30,42 +32,38 @@ Cache::setOf(Addr line_addr) const
     return (line_addr >> kLineShift) % numSets_;
 }
 
-Cache::Line *
-Cache::find(Addr line_addr)
+std::uint64_t
+Cache::findIdx(Addr line_addr) const
 {
-    const std::uint64_t set = setOf(line_addr);
+    const std::uint64_t base = setOf(line_addr) * params_.ways;
+    // One compare per way: tag equality and the valid bit test fold
+    // into a single masked comparison against addr|valid.
+    const std::uint64_t want = line_addr | kValidBit;
     for (unsigned w = 0; w < params_.ways; ++w) {
-        Line &line = lines_[set * params_.ways + w];
-        if (line.valid && line.tag == line_addr)
-            return &line;
+        if ((tags_[base + w] & (kTagMask | kValidBit)) == want)
+            return base + w;
     }
-    return nullptr;
+    return kNoLine;
 }
 
-const Cache::Line *
-Cache::find(Addr line_addr) const
+std::uint64_t
+Cache::victimIn(std::uint64_t set) const
 {
-    return const_cast<Cache *>(this)->find(line_addr);
-}
-
-Cache::Line &
-Cache::victimIn(std::uint64_t set)
-{
-    Line *victim = nullptr;
+    const std::uint64_t base = set * params_.ways;
+    std::uint64_t victim = kNoLine;
     for (unsigned w = 0; w < params_.ways; ++w) {
-        Line &line = lines_[set * params_.ways + w];
-        if (!line.valid)
-            return line;
-        if (victim == nullptr || line.lru < victim->lru)
-            victim = &line;
+        if ((tags_[base + w] & kValidBit) == 0)
+            return base + w;
+        if (victim == kNoLine || lru_[base + w] < lru_[victim])
+            victim = base + w;
     }
-    return *victim;
+    return victim;
 }
 
 void
-Cache::touch(Line &line)
+Cache::touch(std::uint64_t idx)
 {
-    line.lru = ++lruClock_;
+    lru_[idx] = ++lruClock_;
 }
 
 void
@@ -87,16 +85,17 @@ Cache::access(Addr line_addr, bool is_write)
 {
     ssp_assert_dbg(lineOffset(line_addr) == 0, "unaligned line address");
     CacheAccessResult res;
-    if (Line *line = find(line_addr)) {
+    const std::uint64_t idx = findIdx(line_addr);
+    if (idx != kNoLine) {
         ++hits_;
         res.hit = true;
         if (is_write)
-            line->dirty = true;
-        touch(*line);
+            tags_[idx] |= kDirtyBit;
+        touch(idx);
         return res;
     }
     ++misses_;
-    // find() just proved the line absent; go straight to the victim.
+    // findIdx() just proved the line absent; go straight to the victim.
     res = fillVictim(line_addr, is_write, false);
     res.hit = false;
     return res;
@@ -106,11 +105,11 @@ CacheAccessResult
 Cache::insert(Addr line_addr, bool dirty, bool tx)
 {
     CacheAccessResult res;
-    if (Line *line = find(line_addr)) {
+    const std::uint64_t idx = findIdx(line_addr);
+    if (idx != kNoLine) {
         // Merging an insert into a present line keeps the stickier state.
-        line->dirty = line->dirty || dirty;
-        line->tx = line->tx || tx;
-        touch(*line);
+        tags_[idx] |= (dirty ? kDirtyBit : 0) | (tx ? kTxFlagBit : 0);
+        touch(idx);
         return res;
     }
     return fillVictim(line_addr, dirty, tx);
@@ -120,68 +119,71 @@ CacheAccessResult
 Cache::fillVictim(Addr line_addr, bool dirty, bool tx)
 {
     CacheAccessResult res;
-    Line &victim = victimIn(setOf(line_addr));
-    if (victim.valid && victim.dirty) {
+    const std::uint64_t idx = victimIn(setOf(line_addr));
+    const std::uint64_t old = tags_[idx];
+    if ((old & kValidBit) != 0) {
         ++evictions_;
-        res.writeback = true;
-        res.victimAddr = victim.tag;
-        res.victimTx = victim.tx;
-    } else if (victim.valid) {
-        ++evictions_;
+        if ((old & kDirtyBit) != 0) {
+            res.writeback = true;
+            res.victimAddr = old & kTagMask;
+            res.victimTx = (old & kTxFlagBit) != 0;
+        }
+        notifyRemove(old & kTagMask);
     }
-    if (victim.valid)
-        notifyRemove(victim.tag);
     notifyAdd(line_addr);
-    victim.tag = line_addr;
-    victim.valid = true;
-    victim.dirty = dirty;
-    victim.tx = tx;
-    touch(victim);
+    tags_[idx] = line_addr | kValidBit | (dirty ? kDirtyBit : 0) |
+                 (tx ? kTxFlagBit : 0);
+    touch(idx);
     return res;
 }
 
 bool
 Cache::probe(Addr line_addr) const
 {
-    return find(line_addr) != nullptr;
+    return findIdx(line_addr) != kNoLine;
 }
 
 bool
 Cache::isDirty(Addr line_addr) const
 {
-    const Line *line = find(line_addr);
-    return line != nullptr && line->dirty;
+    const std::uint64_t idx = findIdx(line_addr);
+    return idx != kNoLine && (tags_[idx] & kDirtyBit) != 0;
 }
 
 void
 Cache::cleanLine(Addr line_addr)
 {
-    if (Line *line = find(line_addr))
-        line->dirty = false;
+    const std::uint64_t idx = findIdx(line_addr);
+    if (idx != kNoLine)
+        tags_[idx] &= ~kDirtyBit;
 }
 
 void
 Cache::setTxBit(Addr line_addr, bool tx)
 {
-    if (Line *line = find(line_addr))
-        line->tx = tx;
+    const std::uint64_t idx = findIdx(line_addr);
+    if (idx != kNoLine) {
+        if (tx)
+            tags_[idx] |= kTxFlagBit;
+        else
+            tags_[idx] &= ~kTxFlagBit;
+    }
 }
 
 bool
 Cache::txBit(Addr line_addr) const
 {
-    const Line *line = find(line_addr);
-    return line != nullptr && line->tx;
+    const std::uint64_t idx = findIdx(line_addr);
+    return idx != kNoLine && (tags_[idx] & kTxFlagBit) != 0;
 }
 
 bool
 Cache::invalidate(Addr line_addr)
 {
-    if (Line *line = find(line_addr)) {
+    const std::uint64_t idx = findIdx(line_addr);
+    if (idx != kNoLine) {
         notifyRemove(line_addr);
-        line->valid = false;
-        line->dirty = false;
-        line->tx = false;
+        tags_[idx] &= kTagMask;
         return true;
     }
     return false;
@@ -191,15 +193,13 @@ CacheAccessResult
 Cache::remap(Addr old_addr, Addr new_addr)
 {
     CacheAccessResult res;
-    Line *old_line = find(old_addr);
-    if (old_line == nullptr)
+    const std::uint64_t idx = findIdx(old_addr);
+    if (idx == kNoLine)
         return res;
-    const bool dirty = old_line->dirty;
-    const bool tx = old_line->tx;
+    const bool dirty = (tags_[idx] & kDirtyBit) != 0;
+    const bool tx = (tags_[idx] & kTxFlagBit) != 0;
     notifyRemove(old_addr);
-    old_line->valid = false;
-    old_line->dirty = false;
-    old_line->tx = false;
+    tags_[idx] &= kTagMask;
     res = insert(new_addr, dirty, tx);
     res.hit = true; // signals "old line was present and moved"
     return res;
@@ -209,16 +209,16 @@ void
 Cache::invalidateAll()
 {
     for (std::uint64_t i = 0; i < numLines_; ++i) {
-        Line &line = lines_[i];
         // Write only slots that were ever filled: invalid slots are
         // behaviorally inert whatever their bytes say (every reader
-        // gates on `valid`), and skipping the store keeps the
-        // calloc-backed array's untouched pages unmapped across
+        // gates on the valid bit), and skipping the store keeps the
+        // calloc-backed arrays' untouched pages unmapped across
         // simulated power failures.
-        if (!line.valid)
+        if ((tags_[i] & kValidBit) == 0)
             continue;
-        notifyRemove(line.tag);
-        line = Line{};
+        notifyRemove(tags_[i] & kTagMask);
+        tags_[i] = 0;
+        lru_[i] = 0;
     }
 }
 
@@ -227,7 +227,7 @@ Cache::validLines() const
 {
     std::uint64_t n = 0;
     for (std::uint64_t i = 0; i < numLines_; ++i)
-        n += lines_[i].valid ? 1 : 0;
+        n += (tags_[i] & kValidBit) != 0 ? 1 : 0;
     return n;
 }
 

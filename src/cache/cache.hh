@@ -20,7 +20,6 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
-#include <type_traits>
 
 #include "common/types.hh"
 
@@ -28,12 +27,6 @@ namespace ssp
 {
 
 class SharerIndex;
-
-/** Deleter for calloc-backed arrays. */
-struct FreeDeleter
-{
-    void operator()(void *p) const { std::free(p); }
-};
 
 /** Geometry and latency of one cache level. */
 struct CacheParams
@@ -62,6 +55,13 @@ struct CacheAccessResult
 /**
  * Tag/state array for one cache level.  True-LRU replacement within the
  * set; victims are reported to the caller, which models the next level.
+ *
+ * Storage is structure-of-arrays: one packed tag word per line (the
+ * 64-byte-aligned line address with the valid/dirty/TX flags packed into
+ * the low bits) plus a separate LRU-stamp array.  A whole 8-way set's
+ * tags then sit in a single host cache line, so the way scan every
+ * access performs touches one line instead of striding across fat
+ * structs — the hot loop of the whole simulator at 64 cores.
  */
 class Cache
 {
@@ -132,6 +132,21 @@ class Cache
     /** Drop everything (simulated power failure). */
     void invalidateAll();
 
+    /**
+     * Prefetch hint for @p line_addr's set (the tag words and LRU
+     * stamps a later lookup will scan).  Issued by ghost speculation
+     * threads ahead of the authoritative core; __builtin_prefetch is a
+     * pure hint — no tag state is read or written, so a concurrent
+     * authoritative mutation of the set is not a data race.
+     */
+    void
+    prefetchSet(Addr line_addr) const
+    {
+        const std::uint64_t base = setOf(line_addr) * params_.ways;
+        __builtin_prefetch(&tags_[base], 0, 3);
+        __builtin_prefetch(&lru_[base], 0, 3);
+    }
+
     Cycles latency() const { return params_.latency; }
     const CacheParams &params() const { return params_; }
 
@@ -144,25 +159,26 @@ class Cache
 
   private:
     /**
-     * All-zero is the invalid/reset state, so the backing array can be
-     * calloc'd: a big L3's tag array then costs address space, not a
-     * touched page per set, until lines actually land in it.
+     * Packed tag word: the 64-byte-aligned line address ORed with the
+     * state flags in the low bits.  All-zero is the invalid/reset
+     * state, so the backing array can be calloc'd: a big L3's tag
+     * array then costs address space, not a touched page per set,
+     * until lines actually land in it.
      */
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool tx = false;
-        std::uint64_t lru = 0;
-    };
-    static_assert(std::is_trivially_copyable_v<Line>);
+    static constexpr std::uint64_t kValidBit = 1;
+    static constexpr std::uint64_t kDirtyBit = 2;
+    static constexpr std::uint64_t kTxFlagBit = 4;
+    static constexpr std::uint64_t kFlagsMask = kLineSize - 1;
+    static constexpr std::uint64_t kTagMask = ~kFlagsMask;
+    /** "No such line" sentinel index. */
+    static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
 
     std::uint64_t setOf(Addr line_addr) const;
-    Line *find(Addr line_addr);
-    const Line *find(Addr line_addr) const;
-    Line &victimIn(std::uint64_t set);
-    void touch(Line &line);
+    /** Index of @p line_addr's slot, or kNoLine when absent. */
+    std::uint64_t findIdx(Addr line_addr) const;
+    /** Victim slot in @p set: first invalid way, else lowest LRU. */
+    std::uint64_t victimIn(std::uint64_t set) const;
+    void touch(std::uint64_t idx);
     void notifyAdd(Addr line_addr);
     void notifyRemove(Addr line_addr);
     /** Allocate @p line_addr (known absent) over the set's victim. */
@@ -174,8 +190,10 @@ class Cache
     CacheParams params_;
     std::uint64_t numSets_;
     std::uint64_t numLines_;
-    /** numLines_ entries, set-major; calloc'd (see Line). */
-    std::unique_ptr<Line[], FreeDeleter> lines_;
+    /** numLines_ packed tag words, set-major; calloc'd (see above). */
+    std::unique_ptr<std::uint64_t[], FreeDeleter> tags_;
+    /** numLines_ LRU stamps, parallel to tags_; calloc'd. */
+    std::unique_ptr<std::uint64_t[], FreeDeleter> lru_;
     std::uint64_t lruClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

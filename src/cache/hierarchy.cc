@@ -1,5 +1,6 @@
 #include "cache/hierarchy.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -175,6 +176,16 @@ CacheHierarchy::flushLine(CoreId core, Addr addr, WriteCategory cat,
     if (!dirty)
         return now;
     return bus_.issueWrite(line, cat, now, background);
+}
+
+Cycles
+CacheHierarchy::flushLines(CoreId core, const Addr *lines, std::size_t count,
+                           WriteCategory cat, Cycles now)
+{
+    Cycles done = now;
+    for (std::size_t i = 0; i < count; ++i)
+        done = std::max(done, flushLine(core, lines[i], cat, now));
+    return done;
 }
 
 void

@@ -11,6 +11,7 @@
 #ifndef SSP_CACHE_HIERARCHY_HH
 #define SSP_CACHE_HIERARCHY_HH
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -68,6 +69,30 @@ class CacheHierarchy
      */
     Cycles flushLine(CoreId core, Addr addr, WriteCategory cat, Cycles now,
                      bool background = false);
+
+    /**
+     * Batched clwb: flush every line in @p lines, in order, all issued
+     * at @p now, returning the latest completion.  Cycle-equivalent to
+     * looping flushLine() — the bus sees the same write-backs in the
+     * same arbitration order — but gives commit one call per write set
+     * and a single loop the branch predictor learns.
+     */
+    Cycles flushLines(CoreId core, const Addr *lines, std::size_t count,
+                      WriteCategory cat, Cycles now);
+
+    /**
+     * Host-cache prefetch hint for the tag sets @p addr maps to on
+     * @p core's lookup path (L1, L2, L3).  Reads no simulated state —
+     * safe from ghost speculation threads at any time.
+     */
+    void
+    prefetchTags(CoreId core, Addr addr) const
+    {
+        const Addr line = lineBase(addr);
+        l1s_[core]->prefetchSet(line);
+        l2s_[core]->prefetchSet(line);
+        l3_->prefetchSet(line);
+    }
 
     /** Drop a line everywhere without write-back (SSP abort path). */
     void invalidateLine(Addr addr);

@@ -32,7 +32,7 @@ class Machine
         : cfg_(cfg), mem_(cfg.nvramPages(), cfg.dramPages),
           bus_(mem_, cfg.memSystem()),
           caches_(cfg.numCores, cfg.caches, bus_),
-          pt_(cfg.pageWalkCycles),
+          pt_(cfg.pageWalkCycles, cfg.heapPages),
           coherence_(cfg.numCores, cfg.broadcastLatency),
           conflicts_(cfg.numCores, cfg.conflicts),
           clocks_(cfg.numCores, 0)

@@ -190,8 +190,10 @@ SspEngine::commit()
 
     // Step 1 — data persistence: clwb every write-set line.  All flushes
     // issue at 'now'; the stall is the slowest completion (bank-level
-    // parallelism).
-    Cycles flushed = now;
+    // parallelism).  Gather the locations first, then hand the whole
+    // write set to the hierarchy in one batched call: the bus sees the
+    // same write-backs in the same order as a per-line loop would issue.
+    flushBatch_.clear();
     for (const auto &ws : writeSet_.entries()) {
         Translation tr{ws.slot, mc_.cache().entry(ws.slot).ppn0,
                        mc_.cache().entry(ws.slot).ppn1};
@@ -199,13 +201,14 @@ SspEngine::commit()
         for (unsigned li = 0; li < kLinesPerPage; ++li) {
             if (!ws.updated.test(bitOf(li)))
                 continue;
-            const Addr loc = currentLineAddr(e, tr, li);
-            Cycles t = machine_.caches().flushLine(core_, loc,
-                                                   WriteCategory::Data, now);
-            machine_.caches().setTxBit(core_, loc, false);
-            flushed = std::max(flushed, t);
+            flushBatch_.push_back(currentLineAddr(e, tr, li));
         }
     }
+    const Cycles flushed = machine_.caches().flushLines(
+        core_, flushBatch_.data(), flushBatch_.size(), WriteCategory::Data,
+        now);
+    for (const Addr loc : flushBatch_)
+        machine_.caches().setTxBit(core_, loc, false);
 
     // Step 2 — metadata updates: one metadata-update instruction per
     // modified page, ordered after data persistence.

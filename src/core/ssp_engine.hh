@@ -9,6 +9,7 @@
 #define SSP_CORE_SSP_ENGINE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 #include "core/machine.hh"
@@ -94,6 +95,10 @@ class SspEngine
     Machine &machine_;
     MemController &mc_;
     WriteSetBuffer writeSet_;
+    /** Commit-time scratch: write-set line addresses handed to the
+     *  hierarchy's batched flush.  Member so the allocation amortizes
+     *  across transactions. */
+    std::vector<Addr> flushBatch_;
     unsigned subPageLines_;
     bool inTx_ = false;
     TxId tid_ = 0;

@@ -386,8 +386,7 @@ MemController::recover()
     //    the end of the reserved range that is neither page-table-mapped
     //    nor owned by a live slot.
     std::unordered_set<Ppn> used = owned;
-    for (const auto &kv : pt_.entries())
-        used.insert(kv.second);
+    pt_.forEachEntry([&](Vpn, Ppn ppn) { used.insert(ppn); });
     std::vector<Ppn> free_list;
     const Ppn universe_end = params_.shadowPoolBase + params_.shadowPoolPages;
     for (Ppn ppn = 0; ppn < universe_end; ++ppn) {

@@ -1,0 +1,106 @@
+#include "sim/ghost.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/machine.hh"
+
+namespace ssp
+{
+
+GhostReader::GhostReader(Machine &machine)
+    : pt_(machine.pt()), mem_(machine.mem()), caches_(machine.caches())
+{
+}
+
+std::uint64_t
+GhostReader::read64(Addr vaddr) const noexcept
+{
+    const Ppn ppn = pt_.ghostTranslate(pageOf(vaddr));
+    if (ppn == kInvalidPpn)
+        return 0;
+    return mem_.ghostRead64(pageBase(ppn) + pageOffset(vaddr));
+}
+
+void
+GhostReader::prefetch(CoreId core, Addr vaddr) const noexcept
+{
+    const Ppn ppn = pt_.ghostTranslate(pageOf(vaddr));
+    if (ppn == kInvalidPpn)
+        return;
+    const Addr paddr = pageBase(ppn) + pageOffset(vaddr);
+    mem_.ghostPrefetchLine(paddr);
+    caches_.prefetchTags(core, paddr);
+}
+
+GhostEngine::GhostEngine(Machine &machine,
+                         std::unique_ptr<GhostSpeculator> spec,
+                         unsigned num_threads, unsigned num_cores,
+                         std::uint64_t num_txs)
+    : reader_(machine), spec_(std::move(spec)), numCores_(num_cores),
+      numTxs_(num_txs),
+      lead_(std::max<std::uint64_t>(64, 2 * std::uint64_t{num_cores}))
+{
+    threads_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+GhostEngine::~GhostEngine()
+{
+    stop();
+}
+
+void
+GhostEngine::stop() noexcept
+{
+    stop_.store(true, std::memory_order_release);
+    for (auto &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+    threads_.clear();
+}
+
+bool
+GhostEngine::hostSupportsGhosts()
+{
+    return std::thread::hardware_concurrency() >= 2 ||
+           std::getenv("SSP_FORCE_GHOSTS") != nullptr;
+}
+
+void
+GhostEngine::workerLoop()
+{
+    constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    while (!stop_.load(std::memory_order_acquire)) {
+        std::uint64_t op = kNone;
+        GhostPlan plan;
+        {
+            std::lock_guard<std::mutex> guard(drawMutex_);
+            if (ghostNext_ >= numTxs_)
+                return; // every operation has been speculated
+            // Claim + draw in one critical section: claim order is draw
+            // order, so the clone replays the authoritative RNG stream
+            // even with several ghosts racing to claim.
+            if (ghostNext_ <
+                cursor_.load(std::memory_order_acquire) + lead_) {
+                op = ghostNext_++;
+                plan = spec_->draw(op);
+            }
+        }
+        if (op == kNone) {
+            // Too far ahead: let the authoritative thread catch up
+            // (prefetching further out would evict its working set).
+            std::this_thread::yield();
+            continue;
+        }
+        // Stale claims (authoritative thread already past) skip the
+        // walk: the draw alone kept the RNG clone in sync.
+        if (plan.valid && op >= cursor_.load(std::memory_order_acquire))
+            spec_->traverse(plan, static_cast<CoreId>(op % numCores_),
+                            reader_);
+    }
+}
+
+} // namespace ssp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Ghost speculation: within-cell host parallelism that is bit-identical
+ * to the sequential round schedule at any thread count.
+ *
+ * The authoritative simulation stays exactly today's serial loop — one
+ * host thread executing operations in canonical round order.  Extra
+ * host threads ("ghosts") run *ahead* of an atomic authoritative
+ * cursor, re-drawing the same RNG stream on a private clone and walking
+ * the persistent data structure through side-effect-free functional
+ * reads, issuing host-cache prefetches for the memory the authoritative
+ * thread is about to touch: PhysMem data lines and the cache-model tag
+ * sets those lines map to.  Ghosts mutate no simulated state, so the
+ * result of a run is equal to the sequential result *by construction* —
+ * a mispredicted ghost walk costs a wasted prefetch, never a wrong
+ * metric.
+ *
+ * Determinism contract:
+ *  - Ghosts read PhysMem through relaxed atomics (PhysMem::ghostRead64)
+ *    and the page table through PageTable::ghostTranslate; both race
+ *    benignly with authoritative stores and are data-race-free under
+ *    TSan.
+ *  - Ghost RNG clones are claimed and advanced under one mutex in
+ *    operation order, so every ghost sees exactly the key the
+ *    authoritative thread will draw for that operation.
+ *  - A lead window throttles ghosts to stay within a few rounds of the
+ *    cursor, keeping the prefetched lines resident when the
+ *    authoritative thread arrives.
+ */
+
+#ifndef SSP_SIM_GHOST_HH
+#define SSP_SIM_GHOST_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ssp
+{
+
+class CacheHierarchy;
+class Machine;
+class PageTable;
+class PhysMem;
+
+/**
+ * Side-effect-free view of one machine for ghost threads: virtual-address
+ * reads through the committed page-table mapping and prefetch hints for
+ * the host cache lines backing simulated data and cache tags.  Every
+ * method is safe to call concurrently with the authoritative thread.
+ */
+class GhostReader
+{
+  public:
+    explicit GhostReader(Machine &machine);
+
+    /**
+     * Read the 8-byte word at virtual address @p vaddr through the
+     * committed mapping.  Unmapped or misaligned reads return 0; a value
+     * racing with an authoritative store may be stale.  Callers treat
+     * the result as a *hint* (a pointer to chase, a key to compare) and
+     * must bound every walk that consumes it.
+     */
+    std::uint64_t read64(Addr vaddr) const noexcept;
+
+    /**
+     * Prefetch the host cache lines the authoritative thread will touch
+     * when it accesses @p vaddr from @p core: the PhysMem data line and
+     * the L1/L2/L3 tag sets on @p core's lookup path.
+     */
+    void prefetch(CoreId core, Addr vaddr) const noexcept;
+
+  private:
+    const PageTable &pt_;
+    const PhysMem &mem_;
+    const CacheHierarchy &caches_;
+};
+
+/** One speculated operation: workload-defined argument pair. */
+struct GhostPlan
+{
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    bool valid = false;
+};
+
+/**
+ * Workload-specific speculation: replays the workload's per-operation
+ * RNG draws on a private clone and walks the data structure with ghost
+ * reads.  Created by Workload::makeGhostSpeculator() *after* setup(), so
+ * the clone starts from the same RNG state the measured run starts from.
+ */
+class GhostSpeculator
+{
+  public:
+    virtual ~GhostSpeculator() = default;
+
+    /**
+     * Draw the arguments of operation @p op_index from the cloned RNG.
+     * Called under the engine's mutex in strictly increasing op order —
+     * exactly the order the authoritative thread draws.
+     */
+    virtual GhostPlan draw(std::uint64_t op_index) = 0;
+
+    /**
+     * Walk the structure for @p plan on behalf of @p core, issuing
+     * prefetches.  Runs lock-free, concurrently with the authoritative
+     * thread; every loop must be bounded (stale pointers may cycle).
+     */
+    virtual void traverse(const GhostPlan &plan, CoreId core,
+                          const GhostReader &reader) = 0;
+};
+
+/**
+ * Drives cell_threads-1 ghost worker threads ahead of the authoritative
+ * round loop.  The driver calls advance(i) before executing operation i;
+ * ghosts claim operations in [cursor, cursor + lead) and prefetch them.
+ */
+class GhostEngine
+{
+  public:
+    /**
+     * @param num_threads Ghost worker count (cell threads minus one).
+     * @param num_cores Simulated cores: op i runs on core i % num_cores.
+     * @param num_txs Total operations in the run (claim cap).
+     */
+    GhostEngine(Machine &machine, std::unique_ptr<GhostSpeculator> spec,
+                unsigned num_threads, unsigned num_cores,
+                std::uint64_t num_txs);
+    ~GhostEngine();
+
+    GhostEngine(const GhostEngine &) = delete;
+    GhostEngine &operator=(const GhostEngine &) = delete;
+
+    /** The authoritative thread is about to execute operation @p op. */
+    void
+    advance(std::uint64_t op) noexcept
+    {
+        cursor_.store(op, std::memory_order_release);
+    }
+
+    /** Stop and join every ghost thread (idempotent). */
+    void stop() noexcept;
+
+    /**
+     * True when this host can run ghost threads usefully: at least two
+     * hardware threads, or the SSP_FORCE_GHOSTS environment override
+     * (used by tests and TSan runs on single-CPU machines).
+     */
+    static bool hostSupportsGhosts();
+
+  private:
+    void workerLoop();
+
+    GhostReader reader_;
+    std::unique_ptr<GhostSpeculator> spec_;
+    unsigned numCores_;
+    std::uint64_t numTxs_;
+    std::uint64_t lead_;
+    std::mutex drawMutex_;
+    std::uint64_t ghostNext_ = 0; ///< next unclaimed op (under drawMutex_)
+    std::atomic<std::uint64_t> cursor_{0};
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> threads_;
+};
+
+} // namespace ssp
+
+#endif // SSP_SIM_GHOST_HH

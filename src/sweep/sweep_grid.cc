@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "common/logging.hh"
 
@@ -74,6 +77,37 @@ parseCountList(const std::string &flag, const std::string &list)
     if (out.empty())
         ssp_fatal("%s: empty count list", flag.c_str());
     return out;
+}
+
+unsigned
+parseCellThreads(const std::string &value)
+{
+    unsigned long v = 0;
+    try {
+        std::size_t used = 0;
+        v = std::stoul(value, &used);
+        if (used != value.size())
+            v = 0; // trailing junk ("4x") is invalid too
+    } catch (const std::exception &) {
+        v = 0;
+    }
+    if (v == 0 || v > 64) {
+        ssp_fatal("--cell-threads must be an integer in [1, 64], got '%s'",
+                  value.c_str());
+    }
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    // SSP_FORCE_GHOSTS (tests, TSan) overrides the cap: determinism is
+    // guaranteed at any thread count, so oversubscribing only costs
+    // host time.
+    if (v > hw && std::getenv("SSP_FORCE_GHOSTS") == nullptr) {
+        std::fprintf(stderr,
+                     "sweep: --cell-threads %lu exceeds the %u hardware "
+                     "thread(s); capping\n",
+                     v, hw);
+        v = hw;
+    }
+    return static_cast<unsigned>(v);
 }
 
 std::vector<double>

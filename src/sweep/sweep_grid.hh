@@ -162,6 +162,15 @@ std::vector<unsigned> parseCountList(const std::string &flag,
                                      const std::string &list);
 
 /**
+ * Parse the --cell-threads value: one integer in [1, 64].  Values above
+ * the host's hardware concurrency are capped to it (with a warning on
+ * stderr) — asking for more host threads than the machine has is a
+ * budget overshoot, not an error.  Anything non-numeric, zero, or
+ * above 64 is fatal, exactly like parseCountList.
+ */
+unsigned parseCellThreads(const std::string &value);
+
+/**
  * Parse a comma-separated offered-load list for @p flag ("--load"):
  * every item must be a decimal in (0, 10], and the list must be
  * non-empty — an empty or invalid list is fatal, never a silent

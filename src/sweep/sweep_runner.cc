@@ -21,7 +21,7 @@ namespace
 constexpr std::uint64_t kArrivalSeedOrdinal = 101;
 
 CellResult
-runOneCell(const SweepCell &cell)
+runOneCell(const SweepCell &cell, unsigned cell_threads)
 {
     CellResult res;
     res.cell = cell;
@@ -33,6 +33,8 @@ runOneCell(const SweepCell &cell)
             // Open-loop cell: txs counts generated requests, and the
             // arrival process draws from its own stream so the key
             // stream stays identical to the closed-loop cells'.
+            // Ghost speculation is Rounds-only, so serve cells ignore
+            // the cell-thread budget.
             serve::ServeParams params;
             params.arrival = cell.arrival;
             params.offeredLoad = cell.offeredLoad;
@@ -41,7 +43,8 @@ runOneCell(const SweepCell &cell)
             res.run = serve::runServeExperiment(exp, cell.txs,
                                                 cell.cores, params);
         } else {
-            res.run = runExperiment(exp, cell.txs, cell.cores);
+            res.run = runExperiment(exp, cell.txs, cell.cores,
+                                    ScheduleMode::Rounds, cell_threads);
         }
         res.ok = true;
     } catch (const std::exception &e) {
@@ -58,13 +61,24 @@ runOneCell(const SweepCell &cell)
 
 std::vector<CellResult>
 runSweep(const std::vector<SweepCell> &cells, unsigned jobs,
-         const CellCallback &on_cell)
+         const CellCallback &on_cell, unsigned cell_threads)
 {
     std::vector<CellResult> results(cells.size());
     if (cells.empty())
         return results;
 
     jobs = std::max(1u, jobs);
+    cell_threads = std::max(1u, cell_threads);
+    if (cell_threads > 1) {
+        // One global host-thread budget: each worker drives
+        // cell_threads host threads (itself + ghosts), so the worker
+        // count shrinks to keep jobs * cell_threads within the
+        // hardware.  cell_threads == 1 keeps the historical unclamped
+        // --jobs semantics.
+        const unsigned hw = std::max(1u,
+                                     std::thread::hardware_concurrency());
+        jobs = std::max(1u, std::min(jobs, hw / cell_threads));
+    }
     jobs = static_cast<unsigned>(
         std::min<std::size_t>(jobs, cells.size()));
 
@@ -77,7 +91,7 @@ runSweep(const std::vector<SweepCell> &cells, unsigned jobs,
             const std::size_t i = next.fetch_add(1);
             if (i >= cells.size())
                 return;
-            results[i] = runOneCell(cells[i]);
+            results[i] = runOneCell(cells[i], cell_threads);
             const std::size_t finished = done.fetch_add(1) + 1;
             if (on_cell) {
                 std::lock_guard<std::mutex> lock(cb_mutex);

@@ -9,12 +9,25 @@
  * consistency of those updates comes from the metadata journal: recovery
  * re-derives the mapping of every *active* page from the SSP cache, so
  * the page-table update itself does not need to be ordered.
+ *
+ * Storage is a flat, calloc-backed dense array over the first
+ * @p dense_pages VPNs (entries store ppn+1, so the all-zero reset state
+ * means "unmapped") with an unordered_map spilling any VPN beyond it.
+ * The machine sizes the dense range to cover the identity-mapped
+ * persistent heap, so every hot-path translation is one array load.
+ * Dense entries are read and written through relaxed atomics: ghost
+ * speculation threads (src/sim/ghost.*) translate ahead of the
+ * authoritative core with ghostTranslate(), racing benignly with map()
+ * — a stale or torn-window translation only mis-targets a prefetch
+ * hint, never simulated state.
  */
 
 #ifndef SSP_VM_PAGE_TABLE_HH
 #define SSP_VM_PAGE_TABLE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "common/types.hh"
@@ -30,8 +43,11 @@ class PageTable
      * @param walk_cycles Cost of a page-table walk in core cycles.
      *        A radix walk is mostly cached; Table 2-class machines see
      *        on the order of tens of cycles.
+     * @param dense_pages VPNs [0, dense_pages) live in the flat array;
+     *        anything above spills to the overflow map (0 = everything
+     *        spills, the standalone-test configuration).
      */
-    explicit PageTable(Cycles walk_cycles) : walkCycles_(walk_cycles) {}
+    explicit PageTable(Cycles walk_cycles, std::uint64_t dense_pages = 0);
 
     /** Install or replace a mapping. */
     void map(Vpn vpn, Ppn ppn);
@@ -46,6 +62,22 @@ class PageTable
      *  workloads never touch unmapped persistent memory. */
     Ppn translate(Vpn vpn) const;
 
+    /**
+     * Lock-free translation for ghost speculation threads: returns the
+     * mapped PPN, or kInvalidPpn when @p vpn is unmapped or outside the
+     * dense range.  Never consults the overflow map (not thread-safe)
+     * and never panics — a failed ghost translation just skips a
+     * prefetch.
+     */
+    Ppn
+    ghostTranslate(Vpn vpn) const noexcept
+    {
+        if (vpn >= densePages_)
+            return kInvalidPpn;
+        const std::uint64_t e = relaxedLoad(dense_[vpn]);
+        return e == 0 ? kInvalidPpn : e - 1;
+    }
+
     /** Timed page walk. @return completion time. */
     Cycles
     walk(Cycles now) const
@@ -53,14 +85,51 @@ class PageTable
         return now + walkCycles_;
     }
 
-    std::uint64_t size() const { return map_.size(); }
+    std::uint64_t size() const { return size_; }
 
-    /** The table is persistent: it survives powerFail() untouched. */
-    const std::unordered_map<Vpn, Ppn> &entries() const { return map_; }
+    /**
+     * Visit every (vpn, ppn) mapping.  The table is persistent — it
+     * survives powerFail() untouched — and recovery walks it through
+     * here to rebuild free-page pools.  Quiescent use only (no
+     * concurrent map/unmap).
+     */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
+    {
+        for (Vpn vpn = 0; vpn < densePages_; ++vpn) {
+            const std::uint64_t e = relaxedLoad(dense_[vpn]);
+            if (e != 0)
+                fn(vpn, static_cast<Ppn>(e - 1));
+        }
+        for (const auto &kv : overflow_)
+            fn(kv.first, kv.second);
+    }
 
   private:
+    /** Relaxed atomic load of a dense entry (ghosts race with map()). */
+    static std::uint64_t
+    relaxedLoad(const std::uint64_t &word) noexcept
+    {
+        return std::atomic_ref<std::uint64_t>(
+                   const_cast<std::uint64_t &>(word))
+            .load(std::memory_order_relaxed);
+    }
+
+    static void
+    relaxedStore(std::uint64_t &word, std::uint64_t value) noexcept
+    {
+        std::atomic_ref<std::uint64_t>(word).store(
+            value, std::memory_order_relaxed);
+    }
+
     Cycles walkCycles_;
-    std::unordered_map<Vpn, Ppn> map_;
+    std::uint64_t densePages_;
+    /** densePages_ entries of ppn+1 (0 = unmapped); calloc'd so the
+     *  untouched tail of a big heap costs address space only. */
+    std::unique_ptr<std::uint64_t[], FreeDeleter> dense_;
+    std::unordered_map<Vpn, Ppn> overflow_;
+    std::uint64_t size_ = 0;
 };
 
 } // namespace ssp

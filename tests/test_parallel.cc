@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Within-cell host-parallelism tests: the ghost speculation engine's
+ * bit-identity guarantee (any --cell-threads value reproduces the
+ * sequential result exactly), replay of the checked-in BENCH grids
+ * under ghost threads, the ghost read primitives, and the
+ * --cell-threads CLI contract.
+ *
+ * Every test that spawns ghosts sets SSP_FORCE_GHOSTS: the CI machines
+ * (and this container) may expose a single hardware thread, where the
+ * engine would otherwise disable itself.  Forcing only costs host
+ * time — determinism never depends on the thread count.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hh"
+#include "sim/driver.hh"
+#include "sim/ghost.hh"
+#include "sim/system_builder.hh"
+#include "sweep/sweep_grid.hh"
+#include "sweep/sweep_runner.hh"
+#include "tests/test_helpers.hh"
+#include "vm/page_table.hh"
+
+namespace ssp
+{
+namespace
+{
+
+using sweep::buildFigureGrid;
+using sweep::CellResult;
+using sweep::parseCellThreads;
+using sweep::runSweep;
+using sweep::SweepCell;
+using sweep::SweepGridOptions;
+
+void
+forceGhosts()
+{
+    ::setenv("SSP_FORCE_GHOSTS", "1", 1);
+}
+
+/** Every metric a run produces; two runs are "identical" iff all match. */
+void
+expectIdenticalRuns(const RunResult &a, const RunResult &b,
+                    const std::string &what)
+{
+    EXPECT_EQ(a.committedTxs, b.committedTxs) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.nvramWrites, b.nvramWrites) << what;
+    EXPECT_EQ(a.loggingWrites, b.loggingWrites) << what;
+    EXPECT_EQ(a.dataWrites, b.dataWrites) << what;
+    EXPECT_EQ(a.consolidationWrites, b.consolidationWrites) << what;
+    EXPECT_EQ(a.checkpointWrites, b.checkpointWrites) << what;
+    EXPECT_EQ(a.coherenceFlips, b.coherenceFlips) << what;
+    EXPECT_EQ(a.coherenceInvalidations, b.coherenceInvalidations) << what;
+    EXPECT_EQ(a.coherenceShootdowns, b.coherenceShootdowns) << what;
+    EXPECT_EQ(a.txAborts, b.txAborts) << what;
+    EXPECT_EQ(a.txRetries, b.txRetries) << what;
+    EXPECT_EQ(a.backoffCycles, b.backoffCycles) << what;
+    EXPECT_EQ(a.coreBusyCycles, b.coreBusyCycles) << what;
+    EXPECT_EQ(a.coreTxs, b.coreTxs) << what;
+}
+
+RunResult
+runWith(BackendKind backend, WorkloadKind workload, unsigned cores,
+        std::uint64_t txs, unsigned cell_threads)
+{
+    WorkloadScale scale;
+    scale.keySpace = 256;
+    scale.spsElements = 1024;
+    scale.seed = 7;
+    Experiment exp = buildExperiment(backend, workload,
+                                     ssp::test::smallConfig(cores), scale);
+    return runExperiment(exp, txs, cores, ScheduleMode::Rounds,
+                         cell_threads);
+}
+
+// ---- bit-identity at any thread count --------------------------------------
+
+TEST(ThreadInvariance, EveryThreadCountMatchesSequential)
+{
+    forceGhosts();
+    const WorkloadKind workloads[] = {
+        WorkloadKind::Sps,
+        WorkloadKind::BTreeZipf,
+        WorkloadKind::HashRand,
+        WorkloadKind::RbTreeZipf,
+    };
+    for (WorkloadKind wl : workloads) {
+        const RunResult sequential =
+            runWith(BackendKind::Ssp, wl, 4, 400, 1);
+        for (unsigned threads : {2u, 4u, 8u}) {
+            const RunResult ghosted =
+                runWith(BackendKind::Ssp, wl, 4, 400, threads);
+            expectIdenticalRuns(
+                sequential, ghosted,
+                "workload " + std::to_string(static_cast<int>(wl)) +
+                    " cell_threads " + std::to_string(threads));
+        }
+    }
+}
+
+TEST(ThreadInvariance, BaselineBackendsIgnoreGhostsSafely)
+{
+    // Baseline backends share the same machine substrate the ghosts
+    // read; their runs must be equally invariant.
+    forceGhosts();
+    for (BackendKind backend :
+         {BackendKind::UndoLog, BackendKind::RedoLog}) {
+        const RunResult sequential =
+            runWith(backend, WorkloadKind::HashZipf, 2, 300, 1);
+        const RunResult ghosted =
+            runWith(backend, WorkloadKind::HashZipf, 2, 300, 8);
+        expectIdenticalRuns(sequential, ghosted, "baseline backend");
+    }
+}
+
+// ---- replay of the checked-in BENCH grids under ghosts ---------------------
+
+Json
+loadCheckedIn(const std::string &name)
+{
+    std::ifstream in(std::string(SSP_SOURCE_DIR) + "/" + name);
+    EXPECT_TRUE(in) << "checked-in " << name << " missing";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return Json::parse(buf.str());
+}
+
+/** Match @p run against the metrics of @p label in @p checked_in. */
+void
+expectReplaysCell(const Json &checked_in, const std::string &label,
+                  const RunResult &run, std::size_t *matched)
+{
+    for (std::size_t j = 0; j < checked_in["cells"].size(); ++j) {
+        const Json &want = checked_in["cells"].at(j);
+        if (want["label"].asString() != label)
+            continue;
+        const Json &m = want["metrics"];
+        EXPECT_EQ(run.committedTxs, m["committed_txs"].asUint()) << label;
+        EXPECT_EQ(run.cycles, m["cycles"].asUint()) << label;
+        EXPECT_EQ(run.nvramWrites, m["nvram_writes"].asUint()) << label;
+        EXPECT_EQ(run.loggingWrites, m["logging_writes"].asUint())
+            << label;
+        ++*matched;
+    }
+}
+
+TEST(GhostReplay, ScaleCellsAreByteIdenticalUnderGhosts)
+{
+    forceGhosts();
+    const Json checked_in = loadCheckedIn("BENCH_scale.json");
+
+    SweepGridOptions opts;
+    opts.workloads = {WorkloadKind::BTreeZipf};
+    opts.coreCounts = {4};
+    const auto cells = buildFigureGrid("scale", opts);
+    ASSERT_EQ(cells.size(), 3u); // one workload x 3 backends
+
+    std::size_t matched = 0;
+    for (const SweepCell &cell : cells) {
+        Experiment exp = buildExperiment(cell.backend, cell.workload,
+                                         cell.config(), cell.scale);
+        const RunResult run = runExperiment(
+            exp, cell.txs, cell.cores, ScheduleMode::Rounds, 8);
+        expectReplaysCell(checked_in, cell.label(), run, &matched);
+    }
+    EXPECT_EQ(matched, 3u);
+}
+
+TEST(GhostReplay, Scale64CellsAreByteIdenticalUnderGhosts)
+{
+    forceGhosts();
+    const Json checked_in = loadCheckedIn("BENCH_scale64.json");
+
+    SweepGridOptions opts;
+    opts.workloads = {WorkloadKind::HashZipf};
+    opts.coreCounts = {16};
+    const auto cells = buildFigureGrid("scale64", opts);
+    ASSERT_EQ(cells.size(), 3u);
+
+    std::size_t matched = 0;
+    for (const SweepCell &cell : cells) {
+        Experiment exp = buildExperiment(cell.backend, cell.workload,
+                                         cell.config(), cell.scale);
+        const RunResult run = runExperiment(
+            exp, cell.txs, cell.cores, ScheduleMode::Rounds, 4);
+        expectReplaysCell(checked_in, cell.label(), run, &matched);
+    }
+    EXPECT_EQ(matched, 3u);
+}
+
+TEST(GhostReplay, QueueCellsAreUnaffectedByCellThreads)
+{
+    // Open-loop serve cells ignore the cell-thread budget (ghosts are
+    // Rounds-only); a sweep with --cell-threads 8 must still reproduce
+    // the checked-in open-loop metrics exactly.
+    forceGhosts();
+    const Json checked_in = loadCheckedIn("BENCH_queue.json");
+
+    SweepGridOptions opts;
+    opts.workloads = {WorkloadKind::Sps};
+    opts.coreCounts = {4};
+    opts.loads = {0.6};
+    const auto cells = buildFigureGrid("queue", opts);
+    ASSERT_EQ(cells.size(), 3u);
+
+    const std::vector<CellResult> results = runSweep(cells, 1, {}, 8);
+    std::size_t matched = 0;
+    for (const CellResult &r : results) {
+        ASSERT_TRUE(r.ok) << r.error;
+        expectReplaysCell(checked_in, r.cell.label(), r.run, &matched);
+    }
+    EXPECT_EQ(matched, 3u);
+}
+
+TEST(GhostReplay, SweepIsJobsInvariantWithCellThreads)
+{
+    // The worker pool and ghost engines must compose: more sweep
+    // workers with ghosts per cell produce the same per-cell results
+    // in the same slot order.
+    forceGhosts();
+    SweepGridOptions opts;
+    opts.workloads = {WorkloadKind::Sps, WorkloadKind::HashRand};
+    opts.coreCounts = {2};
+    opts.txs = 300;
+    const auto cells = buildFigureGrid("scale", opts);
+    ASSERT_GE(cells.size(), 4u);
+
+    const std::vector<CellResult> serial = runSweep(cells, 1);
+    const std::vector<CellResult> threaded = runSweep(cells, 4, {}, 2);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok && threaded[i].ok);
+        expectIdenticalRuns(serial[i].run, threaded[i].run,
+                            serial[i].cell.label());
+    }
+}
+
+// ---- ghost read primitives -------------------------------------------------
+
+TEST(GhostPrimitives, GhostTranslateSeesDenseMappingsOnly)
+{
+    PageTable pt(0, 8);
+    pt.map(3, 42);
+    EXPECT_EQ(pt.ghostTranslate(3), 42u);
+    EXPECT_EQ(pt.ghostTranslate(4), kInvalidPpn); // dense, unmapped
+    pt.map(100, 7); // overflow region
+    EXPECT_EQ(pt.translate(100), 7u);
+    EXPECT_EQ(pt.ghostTranslate(100), kInvalidPpn); // ghosts skip overflow
+    EXPECT_EQ(pt.ghostTranslate(0), kInvalidPpn);
+    pt.map(0, 0); // ppn 0 is a valid mapping, distinct from "unmapped"
+    EXPECT_EQ(pt.ghostTranslate(0), 0u);
+    pt.unmap(0);
+    EXPECT_EQ(pt.ghostTranslate(0), kInvalidPpn);
+}
+
+TEST(GhostPrimitives, GhostRead64MatchesAuthoritativeWrites)
+{
+    PhysMem mem(4, 2);
+    mem.write64(0x100, 0xdeadbeefcafe0123ull);
+    EXPECT_EQ(mem.ghostRead64(0x100), 0xdeadbeefcafe0123ull);
+    EXPECT_EQ(mem.read64(0x100), 0xdeadbeefcafe0123ull);
+    // Never-written pages read as zero, without allocating.
+    const std::uint64_t allocated = mem.allocatedPages();
+    EXPECT_EQ(mem.ghostRead64(2 * kPageSize + 8), 0u);
+    EXPECT_EQ(mem.allocatedPages(), allocated);
+    // Misaligned and out-of-range ghost reads are hints, not faults.
+    EXPECT_EQ(mem.ghostRead64(0x101), 0u);
+    EXPECT_EQ(mem.ghostRead64(100 * kPageSize), 0u);
+    mem.ghostPrefetchLine(0x100);            // allocated: prefetches
+    mem.ghostPrefetchLine(3 * kPageSize);    // unallocated: no-op
+    mem.ghostPrefetchLine(1000 * kPageSize); // out of range: no-op
+}
+
+TEST(GhostPrimitives, GhostReaderTranslatesThroughTheMachine)
+{
+    Machine machine(ssp::test::smallConfig(1));
+    // The heap is identity-mapped at construction.
+    machine.mem().write64(5 * kPageSize + 64, 77);
+    const GhostReader reader(machine);
+    EXPECT_EQ(reader.read64(5 * kPageSize + 64), 77u);
+    // Beyond the dense heap: unmapped reads as zero.
+    EXPECT_EQ(reader.read64((machine.cfg().heapPages + 3) * kPageSize),
+              0u);
+    reader.prefetch(0, 5 * kPageSize + 64);
+    reader.prefetch(0, (machine.cfg().heapPages + 3) * kPageSize);
+}
+
+TEST(GhostPrimitives, EngineStopsCleanlyMidRun)
+{
+    // An engine torn down while ghosts are mid-claim must join without
+    // hanging — the driver destroys it right after the last operation.
+    forceGhosts();
+    WorkloadScale scale;
+    scale.keySpace = 128;
+    scale.seed = 11;
+    Experiment exp =
+        buildExperiment(BackendKind::Ssp, WorkloadKind::HashRand,
+                        ssp::test::smallConfig(2), scale);
+    auto spec = exp.workload->makeGhostSpeculator();
+    ASSERT_NE(spec, nullptr);
+    Machine &machine = exp.backend->machine();
+    GhostEngine engine(machine, std::move(spec), 3, 2, 1'000'000);
+    engine.advance(10);
+    engine.stop();
+    engine.stop(); // idempotent
+}
+
+// ---- --cell-threads CLI contract -------------------------------------------
+
+TEST(CellThreadsFlag, RejectsInvalidValues)
+{
+    // ssp_fatal throws std::runtime_error; sweep_main turns it into
+    // exit code 2, the same contract as parseCountList.
+    EXPECT_THROW(parseCellThreads("0"), std::runtime_error);
+    EXPECT_THROW(parseCellThreads("65"), std::runtime_error);
+    EXPECT_THROW(parseCellThreads("4x"), std::runtime_error);
+    EXPECT_THROW(parseCellThreads(""), std::runtime_error);
+    EXPECT_THROW(parseCellThreads("-2"), std::runtime_error);
+    EXPECT_THROW(parseCellThreads("ghosts"), std::runtime_error);
+}
+
+TEST(CellThreadsFlag, AcceptsForcedValuesBeyondHardware)
+{
+    forceGhosts();
+    EXPECT_EQ(parseCellThreads("1"), 1u);
+    EXPECT_EQ(parseCellThreads("8"), 8u);
+    EXPECT_EQ(parseCellThreads("64"), 64u);
+}
+
+} // namespace
+} // namespace ssp
