@@ -34,17 +34,19 @@ usage(int exit_code)
         "usage: sweep_main --figure <name> [options]\n"
         "\n"
         "  --figure NAME      grid to run: fig5 fig6 fig7 fig8 fig9\n"
-        "                     table3 table45 chan scale scale64 queue\n"
-        "                     smoke (required)\n"
+        "                     table3 table45 chan scale scale64\n"
+        "                     scale256 queue smoke (required)\n"
         "  --backends LIST    comma-separated subset of ssp,undo,redo,\n"
         "                     shadow (default: the figure's own set)\n"
         "  --workloads LIST   comma-separated subset of Table 3 names\n"
         "                     (e.g. BTree-Rand,SPS; default: all)\n"
         "  --channels LIST    chan grid: NVRAM channel counts to sweep\n"
         "                     (e.g. 1,2,4,8; default: 1,2,4,8)\n"
-        "  --cores LIST       scale/scale64/queue grids: core counts to\n"
-        "                     sweep (default: 1,2,4,8 /\n"
-        "                     1,2,4,8,16,32,64 / 4,16)\n"
+        "  --cores LIST       scale/scale64/scale256/queue grids: core\n"
+        "                     counts to sweep (default: 1,2,4,8 /\n"
+        "                     1,2,4,8,16,32,64 / 1,4,16,64,128,256 /\n"
+        "                     4,16; scale256 accepts up to 256, the\n"
+        "                     other grids' machines cap at 64)\n"
         "  --load LIST        queue grid: offered loads as factors of\n"
         "                     measured closed-loop capacity (default:\n"
         "                     0.3,0.6,0.9,1.2)\n"
@@ -111,10 +113,14 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--channels" || arg == "--cores") {
             // parseCountList is fatal on an empty or invalid list: a
             // bad count sweep must fail loudly, never fall back to the
-            // grid's default list and "succeed".
-            auto &list = (arg == "--channels") ? args.grid.channels
-                                               : args.grid.coreCounts;
-            for (unsigned v : parseCountList(arg, next_value(i)))
+            // grid's default list and "succeed".  --cores parses up to
+            // kMaxCores; the per-figure machine ceiling is checked by
+            // buildFigureGrid once the figure is known.
+            const bool cores = arg == "--cores";
+            auto &list =
+                cores ? args.grid.coreCounts : args.grid.channels;
+            for (unsigned v : parseCountList(arg, next_value(i),
+                                             cores ? kMaxCores : 64))
                 list.push_back(v);
         } else if (arg == "--load") {
             // parseLoadList is fatal on an empty or invalid list, like
@@ -170,11 +176,12 @@ parseArgs(int argc, char **argv)
         usage(2);
     }
     if (!args.grid.coreCounts.empty() && args.figure != "scale" &&
-        args.figure != "scale64" && args.figure != "queue") {
+        args.figure != "scale64" && args.figure != "scale256" &&
+        args.figure != "queue") {
         std::fprintf(stderr,
                      "--cores only applies to '--figure scale', "
-                     "'--figure scale64' or '--figure queue', not "
-                     "'%s'\n",
+                     "'--figure scale64', '--figure scale256' or "
+                     "'--figure queue', not '%s'\n",
                      args.figure.c_str());
         usage(2);
     }

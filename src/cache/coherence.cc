@@ -1,3 +1,18 @@
-// CoherenceBus is header-only; this translation unit exists so the build
-// has a home for future directory-protocol extensions.
 #include "cache/coherence.hh"
+
+#include "interconnect/directory.hh"
+
+namespace ssp
+{
+
+std::unique_ptr<CoherenceModel>
+makeCoherenceModel(unsigned num_cores, Cycles broadcast_latency,
+                   const CoherenceParams &params)
+{
+    if (params.mode == CoherenceMode::Directory)
+        return std::make_unique<DirectoryCoherence>(num_cores, params);
+    return std::make_unique<BroadcastCoherence>(num_cores,
+                                                broadcast_latency);
+}
+
+} // namespace ssp

@@ -9,12 +9,14 @@ namespace ssp
 {
 
 CacheHierarchy::CacheHierarchy(unsigned num_cores,
-                               const HierarchyParams &params, MemoryBus &bus)
+                               const HierarchyParams &params, MemoryBus &bus,
+                               bool force_sharer_index)
     : params_(params), bus_(bus)
 {
     ssp_assert(num_cores > 0);
-    ssp_assert(num_cores <= 64, "sharer masks hold at most 64 cores");
-    indexed_ = num_cores >= kSharerIndexMinCores;
+    ssp_assert(num_cores <= kMaxCores,
+               "sharer bitmaps hold at most %u cores", kMaxCores);
+    indexed_ = force_sharer_index || num_cores >= kSharerIndexMinCores;
     for (unsigned i = 0; i < num_cores; ++i) {
         l1s_.push_back(std::make_unique<Cache>(params.l1));
         l2s_.push_back(std::make_unique<Cache>(params.l2));
@@ -26,6 +28,23 @@ CacheHierarchy::CacheHierarchy(unsigned num_cores,
         }
     }
     l3_ = std::make_unique<Cache>(params.l3);
+}
+
+void
+CacheHierarchy::attachCoherence(CoherenceModel *model)
+{
+    coherence_ = model;
+    maintenance_ = nullptr;
+    if (model == nullptr)
+        return;
+    if (SharerListener *listener = model->sharerListener()) {
+        ssp_assert(indexed_,
+                   "a coherence model with a sharer listener needs the "
+                   "sharer index (force_sharer_index)");
+        sharers_.attachListener(listener);
+    }
+    if (model->needsMaintenance())
+        maintenance_ = model;
 }
 
 void
@@ -57,6 +76,15 @@ CacheHierarchy::handleVictim(CoreId core, unsigned level,
 Cycles
 CacheHierarchy::read(CoreId core, Addr addr, Cycles now)
 {
+    const Cycles done = readImpl(core, addr, now);
+    if (maintenance_ != nullptr)
+        maintenance_->drainMaintenance(done);
+    return done;
+}
+
+Cycles
+CacheHierarchy::readImpl(CoreId core, Addr addr, Cycles now)
+{
     const Addr line = lineBase(addr);
     Cache &l1 = *l1s_[core];
     Cache &l2 = *l2s_[core];
@@ -84,6 +112,15 @@ CacheHierarchy::read(CoreId core, Addr addr, Cycles now)
 
 Cycles
 CacheHierarchy::write(CoreId core, Addr addr, Cycles now)
+{
+    const Cycles done = writeImpl(core, addr, now);
+    if (maintenance_ != nullptr)
+        maintenance_->drainMaintenance(done);
+    return done;
+}
+
+Cycles
+CacheHierarchy::writeImpl(CoreId core, Addr addr, Cycles now)
 {
     const Addr line = lineBase(addr);
     Cache &l1 = *l1s_[core];
@@ -121,35 +158,35 @@ CacheHierarchy::invalidatePeersOnWrite(CoreId core, Addr line, Cycles done)
     // without write-back loses nothing.
     if (!indexed_) {
         // Small machine: brute-force probe of every peer's L1+L2.
-        bool any = false;
+        CoreBitmap peers;
         for (CoreId c = 0; c < numCores(); ++c) {
             if (c == core)
                 continue;
             const bool in_l1 = l1s_[c]->invalidate(line);
             const bool in_l2 = l2s_[c]->invalidate(line);
             if (in_l1 || in_l2) {
-                any = true;
+                peers.set(c);
                 coherence_->deliverInvalidation(c);
             }
         }
-        return any ? coherence_->invalidate(core, done) : done;
+        return peers.any()
+                   ? coherence_->invalidate(core, line, peers, done)
+                   : done;
     }
     // The sharer index gives the exact peer set, so only actual holders
     // are probed — the same peers the full tag scan used to find, hence
     // the same messages and the same charged cycles.
-    std::uint64_t peers =
-        sharers_.sharers(line) & ~(std::uint64_t{1} << core);
-    if (peers == 0)
+    CoreBitmap peers = sharers_.sharers(line);
+    peers.reset(core);
+    if (peers.none())
         return done;
-    while (peers != 0) {
-        const CoreId c = static_cast<CoreId>(std::countr_zero(peers));
-        peers &= peers - 1;
+    peers.forEachSet([&](CoreId c) {
         const bool in_l1 = l1s_[c]->invalidate(line);
         const bool in_l2 = l2s_[c]->invalidate(line);
         ssp_assert_dbg(in_l1 || in_l2, "sharer index out of sync");
         coherence_->deliverInvalidation(c);
-    }
-    return coherence_->invalidate(core, done);
+    });
+    return coherence_->invalidate(core, line, peers, done);
 }
 
 Cycles
@@ -193,13 +230,10 @@ CacheHierarchy::invalidateLine(Addr addr)
 {
     const Addr line = lineBase(addr);
     if (indexed_) {
-        std::uint64_t holders = sharers_.sharers(line);
-        while (holders != 0) {
-            const CoreId c = static_cast<CoreId>(std::countr_zero(holders));
-            holders &= holders - 1;
+        sharers_.sharers(line).forEachSet([&](CoreId c) {
             l1s_[c]->invalidate(line);
             l2s_[c]->invalidate(line);
-        }
+        });
     } else {
         for (auto &l1 : l1s_)
             l1->invalidate(line);
@@ -209,35 +243,57 @@ CacheHierarchy::invalidateLine(Addr addr)
     l3_->invalidate(line);
 }
 
-std::uint64_t
+CoreBitmap
 CacheHierarchy::invalidateLineRemote(CoreId sender, Addr addr)
 {
     if (numCores() <= 1)
-        return 0;
+        return CoreBitmap{};
     const Addr line = lineBase(addr);
     if (!indexed_) {
-        std::uint64_t peers = 0;
+        CoreBitmap peers;
         for (CoreId c = 0; c < numCores(); ++c) {
             if (c == sender)
                 continue;
             const bool in_l1 = l1s_[c]->invalidate(line);
             const bool in_l2 = l2s_[c]->invalidate(line);
             if (in_l1 || in_l2)
-                peers |= std::uint64_t{1} << c;
+                peers.set(c);
         }
         return peers;
     }
-    const std::uint64_t peers =
-        sharers_.sharers(line) & ~(std::uint64_t{1} << sender);
-    std::uint64_t rest = peers;
-    while (rest != 0) {
-        const CoreId c = static_cast<CoreId>(std::countr_zero(rest));
-        rest &= rest - 1;
+    CoreBitmap peers = sharers_.sharers(line);
+    peers.reset(sender);
+    peers.forEachSet([&](CoreId c) {
         const bool in_l1 = l1s_[c]->invalidate(line);
         const bool in_l2 = l2s_[c]->invalidate(line);
         ssp_assert_dbg(in_l1 || in_l2, "sharer index out of sync");
-    }
+    });
     return peers;
+}
+
+CoreBitmap
+CacheHierarchy::backInvalidateLine(Addr addr, Cycles now)
+{
+    const Addr line = lineBase(addr);
+    ssp_assert_dbg(indexed_,
+                   "back-invalidation needs the sharer index");
+    const CoreBitmap dropped = sharers_.sharers(line);
+    dropped.forEachSet([&](CoreId c) {
+        // A dirty private copy falls into the shared L3 like a normal
+        // victim (displacing an L3 victim to memory if needed); clean
+        // copies just vanish.  Only one core can hold the line dirty —
+        // it is the lock holder's speculative or just-written data.
+        const bool dirty =
+            l1s_[c]->isDirty(line) || l2s_[c]->isDirty(line);
+        const bool tx = l1s_[c]->txBit(line);
+        l1s_[c]->invalidate(line);
+        l2s_[c]->invalidate(line);
+        if (dirty) {
+            auto r3 = l3_->insert(line, true, tx);
+            handleVictim(c, 2, r3, now);
+        }
+    });
+    return dropped;
 }
 
 void
@@ -252,6 +308,8 @@ CacheHierarchy::remapLine(CoreId core, Addr old_addr, Addr new_addr,
     handleVictim(core, 1, r2, now);
     auto r3 = l3_->remap(old_line, new_line);
     handleVictim(core, 2, r3, now);
+    if (maintenance_ != nullptr)
+        maintenance_->drainMaintenance(now);
     // Copies of the committed line in other cores' private caches are
     // now tagged with a remapped-away address; the caller shoots them
     // down via invalidateLineRemote() as part of the flip-current-bit

@@ -44,16 +44,25 @@ struct HierarchyParams
 class CacheHierarchy
 {
   public:
+    /**
+     * @param force_sharer_index Maintain the sharer index even below
+     *        kSharerIndexMinCores — the directory coherence model's
+     *        snoop filter is fed by it, so directory-mode machines
+     *        need it at every core count.
+     */
     CacheHierarchy(unsigned num_cores, const HierarchyParams &params,
-                   MemoryBus &bus);
+                   MemoryBus &bus, bool force_sharer_index = false);
 
     /**
-     * Attach the coherence bus (done by Machine after construction).
-     * With a bus attached, write() invalidates peer-cached copies and
-     * charges the sender one broadcast when any existed; without one the
-     * hierarchy times every access in isolation (standalone tests).
+     * Attach the coherence model (done by Machine after construction).
+     * With a model attached, write() invalidates peer-cached copies and
+     * charges the sender one coherence event when any existed; without
+     * one the hierarchy times every access in isolation (standalone
+     * tests).  A model with a sharer listener (the directory snoop
+     * filter) is wired into the sharer index here, and its deferred
+     * maintenance is drained after every timed access.
      */
-    void attachCoherence(CoherenceBus *bus) { coherence_ = bus; }
+    void attachCoherence(CoherenceModel *model);
 
     /** Timed read of the line containing @p addr. */
     Cycles read(CoreId core, Addr addr, Cycles now);
@@ -107,10 +116,22 @@ class CacheHierarchy
      * dirty copy of a page inside a transaction, and commit cleans it,
      * so peer copies are clean by construction.
      *
-     * @return Bitmask of peer cores that held a copy (bit c = core c);
+     * @return Bitmap of peer cores that held a copy (bit c = core c);
      *         the caller charges receiver cost and counts the messages.
      */
-    std::uint64_t invalidateLineRemote(CoreId sender, Addr addr);
+    CoreBitmap invalidateLineRemote(CoreId sender, Addr addr);
+
+    /**
+     * Snoop-filter back-invalidation: drop every private-cache copy of
+     * @p addr's line.  A dirty copy falls into the shared L3 first (as
+     * a normal dirty victim would), so no write is lost — dropping a
+     * dirty pre-commit line outright would corrupt the durability
+     * accounting its commit-time flush depends on.  Called by the
+     * directory coherence model's maintenance drain, never mid-access.
+     *
+     * @return Bitmap of cores that held a copy.
+     */
+    CoreBitmap backInvalidateLine(Addr addr, Cycles now);
 
     /**
      * SSP first-transactional-write remap: move the cached copy of
@@ -174,14 +195,23 @@ class CacheHierarchy
 
     /**
      * MESI-style write invalidation: drop peer copies of @p line and,
-     * when any existed, charge the sender one coherence broadcast on
-     * top of @p done.  No-op without an attached bus or peers.
+     * when any existed, charge the sender one coherence event on top
+     * of @p done.  No-op without an attached model or peers.
      */
     Cycles invalidatePeersOnWrite(CoreId core, Addr line, Cycles done);
 
+    /** read() body; the public wrapper drains coherence maintenance. */
+    Cycles readImpl(CoreId core, Addr addr, Cycles now);
+
+    /** write() body; the public wrapper drains coherence maintenance. */
+    Cycles writeImpl(CoreId core, Addr addr, Cycles now);
+
     HierarchyParams params_;
     MemoryBus &bus_;
-    CoherenceBus *coherence_ = nullptr;
+    CoherenceModel *coherence_ = nullptr;
+    /** Set iff coherence_ queues deferred maintenance (the directory
+     *  snoop filter); broadcast machines pay one null check only. */
+    CoherenceModel *maintenance_ = nullptr;
     bool indexed_ = false;
     SharerIndex sharers_;
     std::vector<std::unique_ptr<Cache>> l1s_;

@@ -14,4 +14,17 @@ Bitmap64::toString() const
     return out;
 }
 
+std::string
+CoreBitmap::toString() const
+{
+    std::string out = "{";
+    forEachSet([&](CoreId core) {
+        if (out.size() > 1)
+            out += ", ";
+        out += std::to_string(core);
+    });
+    out += "}";
+    return out;
+}
+
 } // namespace ssp

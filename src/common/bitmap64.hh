@@ -1,19 +1,28 @@
 /**
  * @file
- * A 64-bit per-page bitmap.
+ * Fixed-width bitmaps: the 64-bit per-page line bitmap and the
+ * multi-word per-line core bitmap.
  *
  * SSP represents the state of each cache line in a 4 KiB page with one bit
  * in each of three bitmaps (current / updated / committed, paper section
  * 3.2).  This wrapper keeps the bit-twiddling in one audited place and
  * gives the operations the names the paper uses.
+ *
+ * CoreBitmap is the same idea over cores instead of lines: one bit per
+ * core, kMaxCores wide, so sharer sets stay representable past the 64
+ * cores a single word holds (the directory coherence model's 128- and
+ * 256-core machines).
  */
 
 #ifndef SSP_COMMON_BITMAP64_HH
 #define SSP_COMMON_BITMAP64_HH
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <string>
+
+#include "common/types.hh"
 
 namespace ssp
 {
@@ -103,6 +112,152 @@ class Bitmap64
 
   private:
     std::uint64_t bits_ = 0;
+};
+
+/**
+ * Fixed kMaxCores-bit bitmap, bit c describes core c.
+ *
+ * The sharer index stores one of these per cached line and the
+ * coherence models consume them as invalidation target sets, so the
+ * operations are the set algebra those paths need: single-bit edits,
+ * union, per-word iteration in ascending core order, and popcount (a
+ * directory charges by sharer count, which is exactly popcount).
+ */
+class CoreBitmap
+{
+  public:
+    /** 64-bit words backing the bitmap. */
+    static constexpr unsigned kWords = kMaxCores / 64;
+
+    constexpr CoreBitmap() = default;
+
+    /** A bitmap whose low 64 bits are @p bits (test shorthand). */
+    static constexpr CoreBitmap
+    fromMask(std::uint64_t bits)
+    {
+        CoreBitmap b;
+        b.words_[0] = bits;
+        return b;
+    }
+
+    /** A bitmap with only @p core's bit set. */
+    static constexpr CoreBitmap
+    ofCore(CoreId core)
+    {
+        CoreBitmap b;
+        b.set(core);
+        return b;
+    }
+
+    /** Test bit @p core. @pre core < kMaxCores. */
+    constexpr bool
+    test(CoreId core) const
+    {
+        return (words_[core / 64] >> (core % 64)) & 1u;
+    }
+
+    /** Set bit @p core. */
+    constexpr void
+    set(CoreId core)
+    {
+        words_[core / 64] |= std::uint64_t{1} << (core % 64);
+    }
+
+    /** Clear bit @p core. */
+    constexpr void
+    reset(CoreId core)
+    {
+        words_[core / 64] &= ~(std::uint64_t{1} << (core % 64));
+    }
+
+    /** Clear every bit. */
+    constexpr void clear() { words_ = {}; }
+
+    /** Number of set bits (the directory's chargeable sharer count). */
+    constexpr unsigned
+    count() const
+    {
+        unsigned n = 0;
+        for (std::uint64_t w : words_)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
+    }
+
+    /** True when no bit is set. */
+    constexpr bool
+    none() const
+    {
+        for (std::uint64_t w : words_)
+            if (w != 0)
+                return false;
+        return true;
+    }
+
+    /** True when any bit is set. */
+    constexpr bool any() const { return !none(); }
+
+    /** Raw word @p i (bits 64i .. 64i+63). */
+    constexpr std::uint64_t word(unsigned i) const { return words_[i]; }
+
+    constexpr CoreBitmap &
+    operator|=(const CoreBitmap &other)
+    {
+        for (unsigned i = 0; i < kWords; ++i)
+            words_[i] |= other.words_[i];
+        return *this;
+    }
+
+    constexpr CoreBitmap
+    operator|(const CoreBitmap &other) const
+    {
+        CoreBitmap out = *this;
+        out |= other;
+        return out;
+    }
+
+    constexpr CoreBitmap &
+    operator&=(const CoreBitmap &other)
+    {
+        for (unsigned i = 0; i < kWords; ++i)
+            words_[i] &= other.words_[i];
+        return *this;
+    }
+
+    constexpr CoreBitmap
+    operator&(const CoreBitmap &other) const
+    {
+        CoreBitmap out = *this;
+        out &= other;
+        return out;
+    }
+
+    constexpr bool operator==(const CoreBitmap &) const = default;
+
+    /**
+     * Invoke @p fn(core) for every set bit, in ascending core order —
+     * the iteration order every charge path depends on for
+     * determinism.
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (unsigned i = 0; i < kWords; ++i) {
+            std::uint64_t w = words_[i];
+            while (w != 0) {
+                const unsigned bit =
+                    static_cast<unsigned>(std::countr_zero(w));
+                w &= w - 1;
+                fn(static_cast<CoreId>(i * 64 + bit));
+            }
+        }
+    }
+
+    /** Render set cores as "{0, 3, 65}" (for diagnostics). */
+    std::string toString() const;
+
+  private:
+    std::array<std::uint64_t, kWords> words_{};
 };
 
 } // namespace ssp

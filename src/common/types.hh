@@ -48,6 +48,13 @@ using Cycles = std::uint64_t;
 /** Identifier of a simulated core. */
 using CoreId = std::uint32_t;
 
+/**
+ * Largest core count any simulated machine supports: the width of the
+ * multi-word per-line sharer bitmap (common/bitmap64.hh CoreBitmap) and
+ * of the mesh interconnect's tile space (src/interconnect/).
+ */
+inline constexpr unsigned kMaxCores = 256;
+
 /** Identifier of a durable transaction, assigned by the memory controller. */
 using TxId = std::uint64_t;
 

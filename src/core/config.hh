@@ -46,6 +46,15 @@ struct SspConfig
      */
     ConflictParams conflicts{};
 
+    /**
+     * Coherence interconnect model: the default flat broadcast bus
+     * (every event costs broadcastLatency regardless of sharer count)
+     * or the 2D-mesh home-node directory (hop-scaled multicast to the
+     * actual sharers, capacity-limited snoop filter).  See
+     * cache/coherence.hh and interconnect/directory.hh.
+     */
+    CoherenceParams coherence{};
+
     MemTimingParams dram = dramDevicePreset();
     MemTimingParams nvram = nvramDevicePreset(NvramDevice::PaperPcm);
 

@@ -2,13 +2,14 @@
  * @file
  * The simulated machine substrate shared by SSP and the baseline
  * designs: physical memory, the memory bus, the cache hierarchy, the
- * page table, the coherence bus, per-core TLBs and per-core clocks.
+ * page table, the coherence model, per-core TLBs and per-core clocks.
  */
 
 #ifndef SSP_CORE_MACHINE_HH
 #define SSP_CORE_MACHINE_HH
 
-#include <bit>
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "cache/coherence.hh"
@@ -31,16 +32,26 @@ class Machine
     explicit Machine(const SspConfig &cfg)
         : cfg_(cfg), mem_(cfg.nvramPages(), cfg.dramPages),
           bus_(mem_, cfg.memSystem()),
-          caches_(cfg.numCores, cfg.caches, bus_),
+          // Directory mode needs the sharer index (its directory state
+          // and snoop-filter feed) at every core count, not just past
+          // the perf cutover.
+          caches_(cfg.numCores, cfg.caches, bus_,
+                  cfg.coherence.mode == CoherenceMode::Directory),
           pt_(cfg.pageWalkCycles, cfg.heapPages),
-          coherence_(cfg.numCores, cfg.broadcastLatency),
+          coherence_(makeCoherenceModel(cfg.numCores, cfg.broadcastLatency,
+                                        cfg.coherence)),
           conflicts_(cfg.numCores, cfg.conflicts),
           clocks_(cfg.numCores, 0)
     {
         // The hierarchy's write path invalidates peer copies through the
-        // coherence bus (MESI-style); standalone hierarchies time in
-        // isolation.
-        caches_.attachCoherence(&coherence_);
+        // coherence model (MESI-style); standalone hierarchies time in
+        // isolation.  The directory model's snoop filter is wired to the
+        // sharer index inside attachCoherence, and its forced filter
+        // evictions drop live copies through backInvalidateLine.
+        caches_.attachCoherence(coherence_.get());
+        coherence_->attachBackInvalidator([this](Addr line, Cycles now) {
+            return caches_.backInvalidateLine(line, now);
+        });
         for (unsigned i = 0; i < cfg.numCores; ++i)
             tlbs_.emplace_back(cfg.tlbEntries);
         // Identity-map the persistent heap up front.  Consolidation may
@@ -55,7 +66,8 @@ class Machine
     MemoryBus &bus() { return bus_; }
     CacheHierarchy &caches() { return caches_; }
     PageTable &pt() { return pt_; }
-    CoherenceBus &coherence() { return coherence_; }
+    CoherenceModel &coherence() { return *coherence_; }
+    const CoherenceModel &coherence() const { return *coherence_; }
     ConflictManager &conflicts() { return conflicts_; }
     const ConflictManager &conflicts() const { return conflicts_; }
     Tlb &tlb(CoreId core) { return tlbs_[core]; }
@@ -94,21 +106,22 @@ class Machine
 
     /**
      * Charge the receiver side of a flip-current-bit shootdown: every
-     * peer in @p peer_mask (bit c = core c, as returned by
+     * peer in @p peer_mask (as returned by
      * CacheHierarchy::invalidateLineRemote) had a stale copy of the
-     * remapped-away line dropped from its private caches and pays one
-     * bus traversal to process the message.
+     * remapped-away line dropped from its private caches and pays the
+     * model's receiver cost (a flat bus traversal under broadcast, the
+     * trip from @p line's home tile under the mesh directory) to
+     * process the message.
      */
     void
-    chargeShootdown(CoreId sender, std::uint64_t peer_mask)
+    chargeShootdown(CoreId sender, Addr line, const CoreBitmap &peer_mask)
     {
-        std::uint64_t rest = peer_mask & ~(std::uint64_t{1} << sender);
-        while (rest != 0) {
-            const unsigned c = static_cast<unsigned>(std::countr_zero(rest));
-            rest &= rest - 1;
-            clocks_[c] += cfg_.broadcastLatency;
-            coherence_.deliverShootdown(c);
-        }
+        peer_mask.forEachSet([&](CoreId c) {
+            if (c == sender)
+                return;
+            clocks_[c] += coherence_->shootdownReceiverCost(c, line);
+            coherence_->deliverShootdown(c);
+        });
     }
 
     /** Volatile state lost on power failure (caches, TLBs, DRAM). */
@@ -116,6 +129,7 @@ class Machine
     powerFail()
     {
         caches_.invalidateAll();
+        coherence_->powerFail();
         for (auto &tlb : tlbs_)
             tlb.flushAll();
         mem_.powerFail();
@@ -129,7 +143,7 @@ class Machine
     MemoryBus bus_;
     CacheHierarchy caches_;
     PageTable pt_;
-    CoherenceBus coherence_;
+    std::unique_ptr<CoherenceModel> coherence_;
     ConflictManager conflicts_;
     std::vector<Tlb> tlbs_;
     std::vector<Cycles> clocks_;

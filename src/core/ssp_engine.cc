@@ -148,7 +148,12 @@ SspEngine::atomicStoreLine(Addr vaddr, const void *buf, std::uint64_t size)
                    "line not in write set but current != committed");
         const Ppn old_ppn = cur ? tr.ppn1 : tr.ppn0;
         const Ppn new_ppn = cur ? tr.ppn0 : tr.ppn1;
-        std::uint64_t peer_mask = 0;
+        // All lines of the sub-page live in old_ppn's page, so every
+        // coherence event below shares one home tile under the mesh
+        // directory; the flip itself is priced at the sub-page's first
+        // line.
+        const Addr flip_loc = lineAddr(old_ppn, bit * subPageLines_);
+        CoreBitmap peer_mask;
         for (unsigned g = bit * subPageLines_;
              g < (bit + 1) * subPageLines_; ++g) {
             const Addr old_loc = lineAddr(old_ppn, g);
@@ -168,8 +173,9 @@ SspEngine::atomicStoreLine(Addr vaddr, const void *buf, std::uint64_t size)
             machine_.caches().setTxBit(core_, new_loc, true);
         }
         mc_.flipCurrent(tr.slot, bit);
-        now = machine_.coherence().flipCurrentBit(core_, now);
-        machine_.chargeShootdown(core_, peer_mask);
+        now = machine_.coherence().flipCurrentBit(core_, flip_loc,
+                                                  peer_mask, now);
+        machine_.chargeShootdown(core_, flip_loc, peer_mask);
         ws->updated.set(bit);
     }
 
@@ -252,7 +258,9 @@ SspEngine::abort()
                 machine_.caches().invalidateLine(lineAddr(spec_ppn, g));
             }
             mc_.flipCurrent(ws.slot, bit);
-            now = machine_.coherence().flipCurrentBit(core_, now);
+            now = machine_.coherence().flipCurrentBit(
+                core_, lineAddr(spec_ppn, bit * subPageLines_),
+                CoreBitmap{}, now);
         }
         mc_.coreDeref(ws.slot);
     }

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * 2D-mesh interconnect geometry.
+ *
+ * The directory coherence model prices every message by Manhattan hop
+ * distance on a width x height tile grid: core c sits on tile c, and
+ * each physical page has a home tile (page number modulo tile count)
+ * whose directory tracks the page's lines.  Homing at page granularity
+ * — not line granularity — keeps every line of one sub-page under a
+ * single home node, so a flip-current-bit shootdown that accumulates
+ * sharer copies across a sub-page's lines is one directory transaction,
+ * matching how Machine::chargeShootdown charges each peer once.
+ */
+
+#ifndef SSP_INTERCONNECT_MESH_HH
+#define SSP_INTERCONNECT_MESH_HH
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ssp
+{
+
+/** Tile grid of the mesh; see file doc for the core/home mapping. */
+struct MeshGeometry
+{
+    unsigned width = 1;
+    unsigned height = 1;
+
+    /**
+     * Geometry for @p cores tiles.  Explicit dimensions are validated
+     * to cover the core count; width = height = 0 derives a square-ish
+     * power-of-two grid (2x2 at 4 cores, 8x8 at 64, 16x8 at 128,
+     * 16x16 at 256) — the shape real tiled parts use, and one that
+     * keeps the bisection growing with sqrt(cores).
+     */
+    static MeshGeometry
+    forCores(unsigned cores, unsigned width = 0, unsigned height = 0)
+    {
+        ssp_assert(cores >= 1 && cores <= kMaxCores,
+                   "mesh supports 1..%u cores, got %u", kMaxCores, cores);
+        if (width == 0 && height == 0) {
+            const unsigned lg =
+                static_cast<unsigned>(std::bit_width(cores - 1));
+            width = 1u << ((lg + 1) / 2);
+            height = (cores + width - 1) / width;
+        }
+        ssp_assert(width >= 1 && height >= 1 &&
+                       width * height >= cores,
+                   "a %ux%u mesh cannot seat %u cores", width, height,
+                   cores);
+        return MeshGeometry{width, height};
+    }
+
+    /** Number of tiles (and of directory home nodes). */
+    unsigned tiles() const { return width * height; }
+
+    /** The tile core @p core sits on (identity placement). */
+    unsigned tileOf(CoreId core) const { return core; }
+
+    /** The home tile whose directory tracks @p addr's page. */
+    unsigned
+    homeTile(Addr addr) const
+    {
+        return static_cast<unsigned>(pageOf(addr) % tiles());
+    }
+
+    /** Manhattan hop distance between tiles @p a and @p b. */
+    unsigned
+    distance(unsigned a, unsigned b) const
+    {
+        const unsigned ax = a % width, ay = a / width;
+        const unsigned bx = b % width, by = b / width;
+        return (ax > bx ? ax - bx : bx - ax) +
+               (ay > by ? ay - by : by - ay);
+    }
+};
+
+} // namespace ssp
+
+#endif // SSP_INTERCONNECT_MESH_HH

@@ -51,7 +51,7 @@ captureRunBaseline(Experiment &exp)
     AtomicityBackend &be = *exp.backend;
     Machine &machine = be.machine();
     MemoryBus &bus = machine.bus();
-    const CoherenceBus &coh = machine.coherence();
+    const CoherenceModel &coh = machine.coherence();
     RunBaseline base;
     base.clock = machine.maxClock();
     base.commits = be.committedTxs();
@@ -65,6 +65,11 @@ captureRunBaseline(Experiment &exp)
     base.coherenceFlips = coh.flipMessages();
     base.coherenceInvalidations = coh.invalidations();
     base.coherenceShootdowns = coh.shootdownsDelivered();
+    base.coherenceMessages = coh.messages();
+    base.directoryLookups = coh.directoryLookups();
+    base.hopTraversalCycles = coh.hopTraversalCycles();
+    base.snoopFilterEvictions = coh.snoopFilterEvictions();
+    base.backInvalidations = coh.backInvalidations();
     base.conflicts = machine.conflicts().stats();
     return base;
 }
@@ -75,7 +80,7 @@ finishRunMetrics(RunResult &res, Experiment &exp, const RunBaseline &base)
     AtomicityBackend &be = *exp.backend;
     Machine &machine = be.machine();
     MemoryBus &bus = machine.bus();
-    const CoherenceBus &coh = machine.coherence();
+    const CoherenceModel &coh = machine.coherence();
 
     res.backend = be.name();
     res.workload = exp.workload->name();
@@ -97,6 +102,14 @@ finishRunMetrics(RunResult &res, Experiment &exp, const RunBaseline &base)
         coh.invalidations() - base.coherenceInvalidations;
     res.coherenceShootdowns =
         coh.shootdownsDelivered() - base.coherenceShootdowns;
+    res.coherenceMessages = coh.messages() - base.coherenceMessages;
+    res.directoryLookups = coh.directoryLookups() - base.directoryLookups;
+    res.hopTraversalCycles =
+        coh.hopTraversalCycles() - base.hopTraversalCycles;
+    res.snoopFilterEvictions =
+        coh.snoopFilterEvictions() - base.snoopFilterEvictions;
+    res.backInvalidations =
+        coh.backInvalidations() - base.backInvalidations;
     const ConflictStats &conflicts = machine.conflicts().stats();
     res.txAborts = conflicts.aborts - base.conflicts.aborts;
     res.txRetries = conflicts.retries - base.conflicts.retries;

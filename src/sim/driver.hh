@@ -59,6 +59,16 @@ struct RunResult
     std::uint64_t coherenceFlips = 0;         ///< flip-current-bit sends
     std::uint64_t coherenceInvalidations = 0; ///< MESI write invalidations
     std::uint64_t coherenceShootdowns = 0;    ///< flip-broadcast drops
+    std::uint64_t coherenceMessages = 0;      ///< interconnect messages
+
+    /** @{ Directory-interconnect traffic (src/interconnect/); zero
+     *  under the broadcast model, which has no mesh, no directory and
+     *  no snoop filter. */
+    std::uint64_t directoryLookups = 0;
+    std::uint64_t hopTraversalCycles = 0;   ///< hop-weighted link cycles
+    std::uint64_t snoopFilterEvictions = 0; ///< capacity-forced evictions
+    std::uint64_t backInvalidations = 0;    ///< sharer copies dropped
+    /** @} */
 
     /** Conflict handling during the run (deltas over setup); always
      *  zero on a single core, where no transaction windows overlap. */
@@ -122,6 +132,11 @@ struct RunBaseline
     std::uint64_t coherenceFlips = 0;
     std::uint64_t coherenceInvalidations = 0;
     std::uint64_t coherenceShootdowns = 0;
+    std::uint64_t coherenceMessages = 0;
+    std::uint64_t directoryLookups = 0;
+    std::uint64_t hopTraversalCycles = 0;
+    std::uint64_t snoopFilterEvictions = 0;
+    std::uint64_t backInvalidations = 0;
     ConflictStats conflicts{};
 };
 

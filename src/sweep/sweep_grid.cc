@@ -38,6 +38,18 @@ conflictModeName(ConflictMode mode)
     ssp_panic("unreachable conflict mode");
 }
 
+const char *
+coherenceModeName(CoherenceMode mode)
+{
+    switch (mode) {
+      case CoherenceMode::Broadcast:
+        return "broadcast";
+      case CoherenceMode::Directory:
+        return "directory";
+    }
+    ssp_panic("unreachable coherence mode");
+}
+
 std::vector<std::string>
 splitCommas(const std::string &list)
 {
@@ -55,7 +67,8 @@ splitCommas(const std::string &list)
 }
 
 std::vector<unsigned>
-parseCountList(const std::string &flag, const std::string &list)
+parseCountList(const std::string &flag, const std::string &list,
+               unsigned max_value)
 {
     std::vector<unsigned> out;
     for (const std::string &item : splitCommas(list)) {
@@ -68,9 +81,9 @@ parseCountList(const std::string &flag, const std::string &list)
         } catch (const std::exception &) {
             v = 0;
         }
-        if (v == 0 || v > 64) {
-            ssp_fatal("%s values must be integers in [1, 64], got '%s'",
-                      flag.c_str(), item.c_str());
+        if (v == 0 || v > max_value) {
+            ssp_fatal("%s values must be integers in [1, %u], got '%s'",
+                      flag.c_str(), max_value, item.c_str());
         }
         out.push_back(static_cast<unsigned>(v));
     }
@@ -177,6 +190,7 @@ SweepCell::config() const
         cfg.conflicts.enabled = false;
     else if (conflictMode == ConflictMode::Lazy)
         cfg.conflicts.validation = ConflictValidation::Lazy;
+    cfg.coherence.mode = coherenceMode;
     return cfg;
 }
 
@@ -199,6 +213,8 @@ SweepCell::label() const
         out += "/p" + std::to_string(keyShards);
     if (conflictMode != ConflictMode::FirstCommitterWins)
         out += std::string("/cc-") + conflictModeName(conflictMode);
+    if (coherenceMode == CoherenceMode::Directory)
+        out += "/dir";
     if (offeredLoad > 0) {
         // Loads are encoded in percent ("load120") — integers keep the
         // label byte-stable regardless of float-formatting locale.
@@ -234,6 +250,7 @@ knownFigures()
         "chan",
         "scale",
         "scale64",
+        "scale256",
         "queue",
         "smoke",
     };
@@ -282,6 +299,32 @@ bigConfig(unsigned cores)
     return cfg;
 }
 
+/**
+ * The mesh machine: the 256-core-class part the scale256 grid runs on.
+ * Scaled up from bigConfig the same way bigConfig scales the desktop
+ * part: an SSP cache provisioned for 256 cores x 64 TLB entries with
+ * slack, a journal that fits the larger slot array, and a deeper
+ * shadow pool.  The configuration is identical at every core count and
+ * under both coherence models, so those axes measure the interconnect,
+ * not machine-size side effects.
+ */
+SspConfig
+meshConfig(unsigned cores)
+{
+    SspConfig cfg;
+    cfg.numCores = cores;
+    cfg.heapPages = 1 << 15; // 128 MiB persistent heap
+    // 256 MiB log area: 256 staggered per-core undo/redo regions need
+    // per_core > numCores * rowBufferBytes, i.e. > 128 MiB total.
+    cfg.logPages = 65536;
+    cfg.journalPages = 2048; // fits the 16K-slot journal + headroom
+    cfg.sspCacheSlots = 16384;
+    cfg.shadowPoolPages = cfg.sspCacheSlots + 4096;
+    cfg.dramPages = 8192;
+    cfg.caches.l3 = CacheParams{"l3", 96 * 1024 * 1024, 16, 42};
+    return cfg;
+}
+
 /** Workloads in Table 3 (paper) order, for the table3 grid. */
 std::vector<WorkloadKind>
 table3Order()
@@ -312,6 +355,15 @@ std::vector<unsigned>
 defaultBigCoreList()
 {
     return {1, 2, 4, 8, 16, 32, 64};
+}
+
+/** Core counts the scale256 grid sweeps by default: the scale64 axis
+ *  decimated to keep the doubled (broadcast x directory) grid
+ *  affordable, extended past it to the mesh machine's full 256. */
+std::vector<unsigned>
+defaultMeshCoreList()
+{
+    return {1, 4, 16, 64, 128, 256};
 }
 
 /** Core counts the queue grid sweeps by default. */
@@ -558,6 +610,36 @@ generateCells(const std::string &figure, std::uint64_t txs,
                 },
                 emit);
         }
+    } else if (figure == "scale256") {
+        // Interconnect scaling on the mesh machine: the three paper
+        // designs x three sharing scenarios (shared-uniform SPS,
+        // Zipf-contended BTree, partitioned Hash-Rand), each cell run
+        // once under the flat broadcast bus and once under the 2D-mesh
+        // home-node directory, across cores up to 256.  Seed ordinals
+        // are pinned per (workload, backend), so the two coherence
+        // models — and every core count — replay the identical
+        // operation stream: any traffic or cycle difference is the
+        // interconnect, not reseeded noise.
+        const std::vector<unsigned> core_list =
+            opts.coreCounts.empty() ? defaultMeshCoreList()
+                                    : opts.coreCounts;
+        for (unsigned cores : core_list) {
+            for (CoherenceMode mode :
+                 {CoherenceMode::Broadcast, CoherenceMode::Directory}) {
+                emitSeedPinnedPlane(
+                    queueWorkloads(), scaleBackends(), txs,
+                    [&](SweepCell &cell) {
+                        cell.cores = cores;
+                        cell.base = meshConfig(cores);
+                        cell.coherenceMode = mode;
+                        if (partitionedWorkload(cell.workload) &&
+                            cores > 1) {
+                            cell.keyShards = cores;
+                        }
+                    },
+                    emit);
+            }
+        }
     } else if (figure == "queue") {
         // Open-loop tail latency on the big machine: the three paper
         // designs x three sharing scenarios under open-loop arrivals at
@@ -637,6 +719,11 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
     // (plus per-cell calibration) affordable.
     if (opts.txs == 0 && figure == "queue")
         txs = 2000;
+    // The scale256 grid doubles every cell (broadcast x directory);
+    // 1000 transactions keep the 108-cell grid affordable while the
+    // contended cells still generate thousands of coherence events.
+    if (opts.txs == 0 && figure == "scale256")
+        txs = 1000;
 
     // Only the chan grid sweeps channel counts; failing beats silently
     // handing back 1-channel cells labeled as a channel experiment.
@@ -647,10 +734,30 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
     }
     // Likewise, only the core-scaling grids sweep core counts...
     if (!opts.coreCounts.empty() && figure != "scale" &&
-        figure != "scale64" && figure != "queue") {
+        figure != "scale64" && figure != "scale256" &&
+        figure != "queue") {
         ssp_fatal("the cores option only applies to the 'scale', "
-                  "'scale64' and 'queue' grids, not '%s'",
+                  "'scale64', 'scale256' and 'queue' grids, not '%s'",
                   figure.c_str());
+    }
+    // Validate the requested core counts against the figure's machine
+    // preset up front: a clean one-line diagnostic here beats a Machine
+    // assert deep inside a sweep worker.  The scale/scale64/queue
+    // machines are provisioned (SSP cache, journal, shadow pool) for at
+    // most 64 cores; only the scale256 mesh machine goes to kMaxCores.
+    {
+        const unsigned figure_max = figure == "scale256" ? kMaxCores : 64;
+        for (unsigned cores : opts.coreCounts) {
+            if (cores > figure_max) {
+                ssp_fatal("--cores %u exceeds the '%s' machine's %u-core "
+                          "provisioning%s",
+                          cores, figure.c_str(), figure_max,
+                          figure_max < kMaxCores
+                              ? " (use --figure scale256 for larger "
+                                "machines)"
+                              : "");
+            }
+        }
     }
     // ... and only the open-loop queue grid sweeps offered loads.
     if (!opts.loads.empty() && figure != "queue") {

@@ -44,6 +44,9 @@ ConflictMode parseConflictMode(const std::string &name);
 /** Printable conflict-mode name (the parse inverse). */
 const char *conflictModeName(ConflictMode mode);
 
+/** Printable coherence-model name ("broadcast" / "directory"). */
+const char *coherenceModeName(CoherenceMode mode);
+
 /** The Table 2 machine used by all figure benches (see bench_common). */
 SspConfig paperConfig(unsigned cores = 1);
 
@@ -79,6 +82,11 @@ struct SweepCell
     double offeredLoad = 0;
     /** queue-grid knob: the open-loop arrival process. */
     serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
+    /** scale256-grid knob: the coherence interconnect model.  Broadcast
+     *  is the flat bus every other grid (and the paper machine) uses;
+     *  Directory prices the same events on the 2D-mesh home-node
+     *  directory (src/interconnect/). */
+    CoherenceMode coherenceMode = CoherenceMode::Broadcast;
 
     /**
      * Seed-derivation ordinal override; -1 derives from the cell's
@@ -138,10 +146,12 @@ std::vector<std::string> knownFigures();
 
 /**
  * Build the cell grid reproducing @p figure ("fig5".."fig9", "table3",
- * "table45", the channel-scaling "chan" grid, the core-scaling "scale"
- * and "scale64" grids, the open-loop tail-latency "queue" grid, or the
- * tiny CI "smoke" grid), then apply the option filters.  Fatal on
- * unknown figure names (the message lists the known grids).
+ * "table45", the channel-scaling "chan" grid, the core-scaling "scale",
+ * "scale64" and "scale256" grids, the open-loop tail-latency "queue"
+ * grid, or the tiny CI "smoke" grid), then apply the option filters.
+ * Fatal on unknown figure names (the message lists the known grids)
+ * and on core counts beyond what the figure's machine preset supports
+ * — failing up front beats a Machine assert deep inside a worker.
  */
 std::vector<SweepCell> buildFigureGrid(const std::string &figure,
                                        const SweepGridOptions &opts = {});
@@ -154,12 +164,15 @@ std::vector<std::string> splitCommas(const std::string &list);
 
 /**
  * Parse a comma-separated count list for @p flag ("--cores",
- * "--channels"): every item must be an integer in [1, 64], and the
- * list must be non-empty — an empty or invalid list is fatal, never a
- * silent fall-back to the grid default.
+ * "--channels"): every item must be an integer in [1, @p max_value],
+ * and the list must be non-empty — an empty or invalid list is fatal,
+ * never a silent fall-back to the grid default.  --cores passes
+ * kMaxCores (the per-figure ceiling is enforced by buildFigureGrid);
+ * --channels keeps the historical 64.
  */
 std::vector<unsigned> parseCountList(const std::string &flag,
-                                     const std::string &list);
+                                     const std::string &list,
+                                     unsigned max_value = 64);
 
 /**
  * Parse the --cell-threads value: one integer in [1, 64].  Values above

@@ -161,6 +161,15 @@ sweepReport(const std::string &figure,
         if (r.cell.offeredLoad > 0)
             c.set("arrival",
                   Json::str(serve::arrivalKindName(r.cell.arrival)));
+        // The coherence coordinate exists on every scale256 cell (the
+        // grid's axis, constant-schema like its metrics) and on any
+        // future directory-mode cell; legacy broadcast reports carry
+        // no coordinate and stay byte-identical.
+        if (r.cell.figure == "scale256" ||
+            r.cell.coherenceMode != CoherenceMode::Broadcast) {
+            c.set("coherence",
+                  Json::str(coherenceModeName(r.cell.coherenceMode)));
+        }
         // Seeds span the full 64-bit range, past the 2^53 integers a
         // JSON number can hold exactly — emit them as hex strings.
         char seed_hex[32];
@@ -201,10 +210,11 @@ sweepReport(const std::string &figure,
         m.set("max_pages_per_tx", Json::number(r.run.maxPagesPerTx));
         // Multi-core-only metrics are gated on the core count so every
         // single-core report stays byte-identical to the 1-core model.
-        // The scale64 grid opts in at every core count: its report is
-        // new, and a constant schema across the 1..64-core axis is what
-        // the scaling analysis scripts want.
-        if (r.cell.cores > 1 || r.cell.figure == "scale64") {
+        // The scale64/scale256 grids opt in at every core count: their
+        // reports are new, and a constant schema across the core axis
+        // is what the scaling analysis scripts want.
+        if (r.cell.cores > 1 || r.cell.figure == "scale64" ||
+            r.cell.figure == "scale256") {
             Json busy = Json::array();
             for (std::uint64_t v : r.run.coreBusyCycles)
                 busy.push(Json::number(v));
@@ -219,6 +229,26 @@ sweepReport(const std::string &figure,
                   Json::number(r.run.coherenceInvalidations));
             m.set("coherence_shootdowns",
                   Json::number(r.run.coherenceShootdowns));
+            // Interconnect traffic: the message count exists under both
+            // models on scale256 cells (it is the broadcast-vs-directory
+            // comparison axis); the directory-only counters exist iff
+            // the cell ran the directory model, and are absent from
+            // every broadcast or legacy report.
+            if (r.cell.figure == "scale256" ||
+                r.cell.coherenceMode != CoherenceMode::Broadcast) {
+                m.set("coherence_messages",
+                      Json::number(r.run.coherenceMessages));
+            }
+            if (r.cell.coherenceMode == CoherenceMode::Directory) {
+                m.set("directory_lookups",
+                      Json::number(r.run.directoryLookups));
+                m.set("hop_traversal_cycles",
+                      Json::number(r.run.hopTraversalCycles));
+                m.set("snoop_filter_evictions",
+                      Json::number(r.run.snoopFilterEvictions));
+                m.set("back_invalidations",
+                      Json::number(r.run.backInvalidations));
+            }
             m.set("tx_aborts", Json::number(r.run.txAborts));
             m.set("tx_retries", Json::number(r.run.txRetries));
             m.set("conflicts_write_write",

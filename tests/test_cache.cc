@@ -214,13 +214,13 @@ class SharerIndexTest : public ::testing::Test
     }
 
     /** Brute-force ground truth the index must match exactly. */
-    std::uint64_t
+    CoreBitmap
     probeMask(Addr line) const
     {
-        std::uint64_t mask = 0;
+        CoreBitmap mask;
         for (CoreId c = 0; c < kCores; ++c) {
             if (hier.l1(c).probe(line) || hier.l2(c).probe(line))
-                mask |= std::uint64_t{1} << c;
+                mask.set(c);
         }
         return mask;
     }
@@ -256,7 +256,8 @@ TEST_F(SharerIndexTest, TracksAccessInsertInvalidateRemap)
     hier.read(0, a, 0);
     hier.read(3, a, 0);
     expectIndexConsistent({a});
-    EXPECT_EQ(hier.sharerIndex().sharers(a) & 0b1001u, 0b1001u);
+    const CoreBitmap both = CoreBitmap::fromMask(0b1001u);
+    EXPECT_EQ(hier.sharerIndex().sharers(a) & both, both);
 
     hier.remapLine(3, a, b, 10);
     expectIndexConsistent({a, b});
@@ -264,8 +265,8 @@ TEST_F(SharerIndexTest, TracksAccessInsertInvalidateRemap)
     hier.invalidateLine(a);
     hier.invalidateLine(b);
     expectIndexConsistent({a, b});
-    EXPECT_EQ(hier.sharerIndex().sharers(a), 0u);
-    EXPECT_EQ(hier.sharerIndex().sharers(b), 0u);
+    EXPECT_TRUE(hier.sharerIndex().sharers(a).none());
+    EXPECT_TRUE(hier.sharerIndex().sharers(b).none());
 }
 
 TEST_F(SharerIndexTest, RandomizedOpsKeepMaskExact)

@@ -67,8 +67,8 @@ TEST(Multicore, StaleLineCannotWriteBackToOldPpn)
     ASSERT_TRUE(m.caches().isDirty(1, x));
 
     const std::uint64_t writes_before = m.bus().nvramWrites();
-    const std::uint64_t peers = m.caches().invalidateLineRemote(0, x);
-    EXPECT_EQ(peers, std::uint64_t{1} << 1);
+    const CoreBitmap peers = m.caches().invalidateLineRemote(0, x);
+    EXPECT_EQ(peers, CoreBitmap::ofCore(1));
     EXPECT_FALSE(m.caches().l1(1).probe(x));
     EXPECT_FALSE(m.caches().l2(1).probe(x));
 
@@ -99,7 +99,7 @@ TEST(Multicore, WriteInvalidatesPeerCopiesAndCountsMessages)
     EXPECT_EQ(m.coherence().invalidations(), 1u);
     EXPECT_EQ(m.coherence().invalidationsSent(0), 1u);
     EXPECT_EQ(m.coherence().messagesReceived(1), 1u);
-    EXPECT_GE(done, noisy_start + m.coherence().broadcastLatency());
+    EXPECT_GE(done, noisy_start + m.cfg().broadcastLatency);
 }
 
 TEST(Multicore, PartialRoundsLeaveClocksSynced)

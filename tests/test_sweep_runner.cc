@@ -570,5 +570,139 @@ TEST(SweepReport, QueueCellsCarryTailLatencyMetricsAndCoordinates)
         smoke_report["cells"].at(0)["metrics"].has("p99_cycles"));
 }
 
+// ---- scale256 grid --------------------------------------------------------
+
+TEST(SweepCli, CountListHonorsTheCallerProvidedCeiling)
+{
+    // --cores parses up to kMaxCores (the per-figure machine ceiling is
+    // buildFigureGrid's job); --channels keeps the historical 64.
+    EXPECT_EQ(parseCountList("--cores", "128,256", kMaxCores),
+              (std::vector<unsigned>{128, 256}));
+    EXPECT_EQ(parseCountList("--cores", "65", kMaxCores),
+              (std::vector<unsigned>{65}));
+    EXPECT_THROW(parseCountList("--cores", "257", kMaxCores),
+                 std::runtime_error);
+}
+
+TEST(SweepGrid, CoreCeilingIsPerFigureMachine)
+{
+    // A core count beyond the figure's machine provisioning must fail
+    // in grid construction with a clear message, never as a Machine
+    // assert deep inside a sweep worker.
+    SweepGridOptions opts;
+    opts.coreCounts = {128};
+    EXPECT_THROW(buildFigureGrid("scale64", opts), std::runtime_error);
+    EXPECT_THROW(buildFigureGrid("scale", opts), std::runtime_error);
+    EXPECT_THROW(buildFigureGrid("queue", opts), std::runtime_error);
+    try {
+        buildFigureGrid("scale64", opts);
+        FAIL() << "over-provisioned core count did not throw";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("128"), std::string::npos);
+        EXPECT_NE(msg.find("scale256"), std::string::npos); // the fix
+    }
+    opts.coreCounts = {256};
+    EXPECT_FALSE(buildFigureGrid("scale256", opts).empty());
+}
+
+TEST(SweepGrid, Scale256PairsBroadcastAndDirectoryAtEveryCoreCount)
+{
+    const auto cells = buildFigureGrid("scale256");
+    // 6 core counts x 2 coherence models x 3 workloads x 3 backends.
+    ASSERT_EQ(cells.size(), 6u * 2u * 3u * 3u);
+    std::set<unsigned> cores;
+    std::set<std::string> labels;
+    std::size_t directory_cells = 0;
+    for (const SweepCell &cell : cells) {
+        cores.insert(cell.cores);
+        EXPECT_EQ(cell.figure, "scale256");
+        EXPECT_EQ(cell.txs, 1000u);
+        // The mesh machine: provisioned for 256 cores at every cell so
+        // the axes measure cores and interconnect, not capacity.
+        EXPECT_EQ(cell.base.sspCacheSlots, 16384u);
+        EXPECT_GE(cell.base.caches.l3.sizeBytes, 96u * 1024 * 1024);
+        if (cell.coherenceMode == CoherenceMode::Directory)
+            ++directory_cells;
+        // Partitioned scenario: Hash-Rand shards its keys per core.
+        if (cell.workload == WorkloadKind::HashRand && cell.cores > 1) {
+            EXPECT_EQ(cell.keyShards, cell.cores);
+        }
+        labels.insert(cell.label());
+    }
+    EXPECT_EQ(cores, (std::set<unsigned>{1, 4, 16, 64, 128, 256}));
+    EXPECT_EQ(directory_cells, cells.size() / 2);
+    // The coherence model is a label coordinate, so labels stay unique.
+    EXPECT_EQ(labels.size(), cells.size());
+}
+
+TEST(SweepGrid, Scale256SeedsArePinnedAcrossCoherenceModesAndCores)
+{
+    // A broadcast cell and its directory twin (and every core count)
+    // replay the identical operation stream: any traffic or cycle
+    // difference between them is the interconnect, not reseeded noise.
+    const auto cells = buildFigureGrid("scale256");
+    for (const SweepCell &a : cells) {
+        for (const SweepCell &b : cells) {
+            if (a.backend == b.backend && a.workload == b.workload) {
+                EXPECT_EQ(a.scale.seed, b.scale.seed);
+            }
+        }
+    }
+}
+
+TEST(SweepReport, Scale256EmitsDirectoryCountersOnlyInDirectoryMode)
+{
+    SweepGridOptions opts;
+    opts.coreCounts = {1};
+    opts.workloads = {WorkloadKind::Sps};
+    opts.txs = 20;
+    const auto cells = buildFigureGrid("scale256", opts);
+    ASSERT_EQ(cells.size(), 6u); // 2 modes x 3 backends
+    const auto results = runSweep(cells, 1);
+    const Json report =
+        Json::parse(sweepReport("scale256", results).dump(2));
+    for (std::size_t i = 0; i < report["cells"].size(); ++i) {
+        const Json &c = report["cells"].at(i);
+        ASSERT_TRUE(c["ok"].asBool()) << c["label"].asString();
+        // Every scale256 cell names its interconnect and reports the
+        // message count — the broadcast-vs-directory comparison axis.
+        ASSERT_TRUE(c.has("coherence"));
+        const bool directory = c["coherence"].asString() == "directory";
+        const Json &m = c["metrics"];
+        EXPECT_TRUE(m.has("coherence_messages"));
+        // Directory-only counters exist iff the cell ran the directory.
+        EXPECT_EQ(m.has("directory_lookups"), directory);
+        EXPECT_EQ(m.has("hop_traversal_cycles"), directory);
+        EXPECT_EQ(m.has("snoop_filter_evictions"), directory);
+        EXPECT_EQ(m.has("back_invalidations"), directory);
+    }
+
+    // Legacy broadcast grids carry neither the coordinate nor the
+    // counters, keeping their checked-in reports byte-identical.
+    const auto smoke = runSweep(buildFigureGrid("smoke"), 1);
+    const Json smoke_report =
+        Json::parse(sweepReport("smoke", smoke).dump(2));
+    EXPECT_FALSE(smoke_report["cells"].at(0).has("coherence"));
+    EXPECT_FALSE(
+        smoke_report["cells"].at(0)["metrics"].has("coherence_messages"));
+}
+
+TEST(SweepRunner, Scale256CellsAreDeterministicAcrossJobs)
+{
+    SweepGridOptions opts;
+    opts.coreCounts = {1, 4};
+    opts.workloads = {WorkloadKind::Sps};
+    opts.backends = {BackendKind::Ssp};
+    opts.txs = 40;
+    const auto cells = buildFigureGrid("scale256", opts);
+    ASSERT_EQ(cells.size(), 4u); // 2 core counts x 2 modes
+    const auto serial = runSweep(cells, 1);
+    const auto parallel = runSweep(cells, 3);
+    const Json a = sweepReport("scale256", serial);
+    const Json b = sweepReport("scale256", parallel);
+    EXPECT_EQ(a.dump(2), b.dump(2));
+}
+
 } // namespace
 } // namespace ssp::sweep::test
