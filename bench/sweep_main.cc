@@ -35,7 +35,7 @@ usage(int exit_code)
         "\n"
         "  --figure NAME      grid to run: fig5 fig6 fig7 fig8 fig9\n"
         "                     table3 table45 chan scale scale64\n"
-        "                     scale256 queue smoke (required)\n"
+        "                     scale256 queue shard smoke (required)\n"
         "  --backends LIST    comma-separated subset of ssp,undo,redo,\n"
         "                     shadow (default: the figure's own set)\n"
         "  --workloads LIST   comma-separated subset of Table 3 names\n"
@@ -47,6 +47,8 @@ usage(int exit_code)
         "                     1,2,4,8,16,32,64 / 1,4,16,64,128,256 /\n"
         "                     4,16; scale256 accepts up to 256, the\n"
         "                     other grids' machines cap at 64)\n"
+        "  --machines LIST    shard grid: cluster sizes to sweep\n"
+        "                     (e.g. 1,2,4; default: 1,2,4,8)\n"
         "  --load LIST        queue grid: offered loads as factors of\n"
         "                     measured closed-loop capacity (default:\n"
         "                     0.3,0.6,0.9,1.2)\n"
@@ -122,6 +124,11 @@ parseArgs(int argc, char **argv)
             for (unsigned v : parseCountList(arg, next_value(i),
                                              cores ? kMaxCores : 64))
                 list.push_back(v);
+        } else if (arg == "--machines") {
+            // parseCountList is fatal on an empty or invalid list, like
+            // the count lists above.
+            for (unsigned v : parseCountList(arg, next_value(i), 64))
+                args.grid.machines.push_back(v);
         } else if (arg == "--load") {
             // parseLoadList is fatal on an empty or invalid list, like
             // the count lists above.
@@ -182,6 +189,13 @@ parseArgs(int argc, char **argv)
                      "--cores only applies to '--figure scale', "
                      "'--figure scale64', '--figure scale256' or "
                      "'--figure queue', not '%s'\n",
+                     args.figure.c_str());
+        usage(2);
+    }
+    if (!args.grid.machines.empty() && args.figure != "shard") {
+        std::fprintf(stderr,
+                     "--machines only applies to '--figure shard', not "
+                     "'%s'\n",
                      args.figure.c_str());
         usage(2);
     }

@@ -170,4 +170,57 @@ print("scale256 schema ok across %d cells "
       "(%d contended pairs checked)" % (len(doc["cells"]), contended))
 EOF
 
+echo "== shard report schema validation =="
+# The checked-in cluster grid must carry the machines coordinate on
+# every cell; the 2PC counters (and the cross-shard fraction) exist
+# exactly on multi-machine cells, cells with a cross-shard fraction
+# actually exercised the network, and every 1-machine cell's metrics
+# are byte-identical to the scale grid's 4-core cell of the same
+# (backend, workload) — the single-shard fast-path guarantee.
+python3 - "$repo_root/BENCH_shard.json" "$repo_root/BENCH_scale.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["figure"] == "shard", "BENCH_shard.json is not a shard report"
+assert doc["cells"], "shard report has no cells"
+tpc_fields = ("single_shard_txs", "cross_shard_txs",
+              "prepare_round_trips", "cross_shard_aborts",
+              "coordinator_stall_cycles", "network_messages",
+              "network_cycles", "shard_cycles", "shard_committed_txs")
+scale = json.load(open(sys.argv[2]))
+scale_cells = {c["label"]: c for c in scale["cells"]}
+single, multi = 0, 0
+for c in doc["cells"]:
+    assert c.get("ok"), "cell %s failed" % c["label"]
+    assert "machines" in c, "cell %s lacks the machines coordinate" % \
+        c["label"]
+    m = c["metrics"]
+    clustered = c["machines"] > 1
+    assert ("cross_shard_pct" in c) == clustered, \
+        "cell %s cross_shard_pct presence" % c["label"]
+    for f in tpc_fields:
+        assert (f in m) == clustered, \
+            "cell %s %s %s" % (c["label"],
+                               "lacks" if clustered else "leaks", f)
+    if clustered:
+        multi += 1
+        assert len(m["shard_cycles"]) == c["machines"], \
+            "cell %s shard_cycles length" % c["label"]
+        if c["cross_shard_pct"] > 0:
+            assert m["cross_shard_txs"] > 0 and m["network_cycles"] > 0, \
+                "cell %s priced no 2PC traffic" % c["label"]
+    else:
+        single += 1
+        ref_label = c["label"].replace("shard/", "scale/", 1)
+        assert ref_label.endswith("/m1"), c["label"]
+        ref = scale_cells.get(ref_label[:-len("/m1")])
+        assert ref is not None, "no scale twin for %s" % c["label"]
+        assert m == ref["metrics"], \
+            "1-machine cell %s is not byte-identical to its scale twin" \
+            % c["label"]
+assert single and multi, "shard grid lost a machine-count class"
+print("shard schema ok across %d cells "
+      "(%d single-machine identities checked)" % (len(doc["cells"]),
+                                                  single))
+EOF
+
 echo "OK"

@@ -60,8 +60,20 @@ def main():
     cand_cells, cand_all = load_cells(args.candidate)
     common = sorted(set(base_cells) & set(cand_cells))
     if not common:
+        # Zero overlap is a hard error with a diagnostic: it almost
+        # always means the wrong figure or filter was compared (e.g. a
+        # --machines subset against the full grid), and a silent "no
+        # common cells" would let CI pass while gating on nothing.
         print("perf_compare: no common ok cells between "
               f"{args.baseline} and {args.candidate}", file=sys.stderr)
+        for name, cells in ((args.baseline, base_cells),
+                            (args.candidate, cand_cells)):
+            labels = sorted(cells)
+            shown = ", ".join(labels[:8])
+            if len(labels) > 8:
+                shown += f", ... ({len(labels)} total)"
+            print(f"  {name} ok labels: {shown or '(none)'}",
+                  file=sys.stderr)
         return 1
 
     metric_errors = []

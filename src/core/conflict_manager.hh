@@ -132,6 +132,18 @@ class ConflictManager
     const ConflictStats &stats() const { return stats_; }
     const ConflictParams &params() const { return params_; }
 
+    /**
+     * @{ 2PC prepare introspection (src/shard/): a transaction whose
+     * last validate() succeeded is *prepared* — its commit point is
+     * fixed at preparedAt() and commitTx will stamp the published
+     * record there.  The shard coordinator reads these to anchor the
+     * prepare-vote timestamp; with conflict detection disabled (one
+     * core) validate() never fixes a point and prepared() stays false.
+     */
+    bool prepared(CoreId core) const { return tx_[core].validated; }
+    Cycles preparedAt(CoreId core) const { return tx_[core].validatedAt; }
+    /** @} */
+
     /** Introspection (tests): in-flight set sizes and log depth. */
     bool inTx(CoreId core) const { return tx_[core].active; }
     std::size_t readSetSize(CoreId core) const

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic network cost model for the sharded cluster.
+ *
+ * Every cross-machine message is priced as one RPC: a fixed network
+ * round-half latency (propagation + switching + kernel/NIC handoff),
+ * a serialization charge (marshalling the request into wire format),
+ * and a bandwidth term proportional to the payload.  Same-machine
+ * messages are free and uncounted — a coordinator talking to a local
+ * participant is a function call, which is what makes the single-shard
+ * fast path cycle-identical to the single-machine model.
+ */
+
+#ifndef SSP_SHARD_NETWORK_HH
+#define SSP_SHARD_NETWORK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ssp::shard
+{
+
+/** Cost knobs of the cluster interconnect (datacenter-class defaults). */
+struct NetworkParams
+{
+    /**
+     * One-way message latency in core cycles.  ~2.3 us at the simulated
+     * core frequency — a kernel-bypass RPC fabric, not loopback.
+     */
+    Cycles rpcLatency = 5000;
+    /** Serialization/deserialization CPU cost per message. */
+    Cycles serialization = 200;
+    /** Wire bandwidth as payload bytes moved per core cycle. */
+    std::uint64_t bytesPerCycle = 16;
+};
+
+/** Wire sizes of the 2PC messages (header + footprint summary). */
+inline constexpr std::uint64_t kPrepareBytes = 256;
+inline constexpr std::uint64_t kVoteBytes = 64;
+inline constexpr std::uint64_t kDecisionBytes = 64;
+
+/**
+ * Prices messages between machines and accounts the traffic.  Purely
+ * deterministic: cost depends only on (src == dst, payload size).
+ */
+class NetworkModel
+{
+  public:
+    explicit NetworkModel(const NetworkParams &params = {})
+        : params_(params)
+    {
+    }
+
+    /**
+     * Cycles one message of @p bytes payload takes from machine @p src
+     * to machine @p dst.  Same-machine messages cost nothing and are
+     * not counted.
+     */
+    Cycles
+    messageCost(unsigned src, unsigned dst, std::uint64_t bytes)
+    {
+        if (src == dst)
+            return 0;
+        const Cycles wire =
+            (bytes + params_.bytesPerCycle - 1) / params_.bytesPerCycle;
+        const Cycles cost = params_.rpcLatency + params_.serialization +
+                            wire;
+        ++messages_;
+        cycles_ += cost;
+        return cost;
+    }
+
+    const NetworkParams &params() const { return params_; }
+
+    /** Cross-machine messages priced so far. */
+    std::uint64_t messages() const { return messages_; }
+
+    /** Total cycles charged for those messages. */
+    Cycles cyclesCharged() const { return cycles_; }
+
+  private:
+    NetworkParams params_;
+    std::uint64_t messages_ = 0;
+    Cycles cycles_ = 0;
+};
+
+} // namespace ssp::shard
+
+#endif // SSP_SHARD_NETWORK_HH

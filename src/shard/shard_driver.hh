@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The cluster driver: runs every shard's workload in bulk-synchronous
+ * rounds (the per-machine generalization of the single-machine Rounds
+ * scheduler) with a deterministic routing stream deciding, per
+ * coordinator slot, whether the operation stays single-shard or becomes
+ * a cross-shard 2PC transaction against a drawn peer shard.
+ *
+ * A 1-machine cluster delegates wholesale to runExperiment — literally
+ * the same code path — so machines=1 results are cycle-identical to the
+ * single-machine model by construction, not by reimplementation.
+ */
+
+#ifndef SSP_SHARD_SHARD_DRIVER_HH
+#define SSP_SHARD_SHARD_DRIVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/cluster.hh"
+#include "shard/tx_coordinator.hh"
+#include "sim/driver.hh"
+
+namespace ssp::shard
+{
+
+/** Metrics of one cluster run. */
+struct ShardRunResult
+{
+    /**
+     * Cluster-wide rollup: counters are sums across shards, cycles is
+     * the slowest shard's wall clock, per-core vectors sum the same
+     * core index across machines, and the write-set averages are
+     * per-shard means (max of maxima).
+     */
+    RunResult aggregate;
+    /** Per-shard deltas, index = shard. */
+    std::vector<RunResult> shards;
+    /** 2PC accounting; all zero for a 1-machine cluster. */
+    ShardTxStats tx;
+    /** Cross-machine messages priced by the NetworkModel. */
+    std::uint64_t networkMessages = 0;
+    /** Cycles those messages charged to core clocks. */
+    Cycles networkCycles = 0;
+};
+
+/**
+ * Run @p txs_per_shard coordinator operations per shard across
+ * @p num_cores cores per machine.  Each slot becomes a cross-shard
+ * transaction with probability @p cross_shard_fraction (peer drawn
+ * uniformly from the other shards); the routing stream is seeded by
+ * @p route_seed, independent of every workload stream.  With one
+ * machine the call is exactly runExperiment on shard 0.
+ */
+ShardRunResult runClusterExperiment(Cluster &cluster,
+                                    std::uint64_t txs_per_shard,
+                                    unsigned num_cores,
+                                    double cross_shard_fraction,
+                                    std::uint64_t route_seed);
+
+} // namespace ssp::shard
+
+#endif // SSP_SHARD_SHARD_DRIVER_HH

@@ -1,0 +1,194 @@
+#include "shard/tx_coordinator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ssp::shard
+{
+
+namespace
+{
+
+/** Installs a commit-control hook for one runOp; always uninstalls. */
+class HookScope
+{
+  public:
+    HookScope(Workload &w, TxControlHook &hook) : w_(w)
+    {
+        ssp_assert(w.txControl() == nullptr,
+                   "nested commit-control hooks on one workload");
+        w_.setTxControl(&hook);
+    }
+    ~HookScope() { w_.setTxControl(nullptr); }
+    HookScope(const HookScope &) = delete;
+    HookScope &operator=(const HookScope &) = delete;
+
+  private:
+    Workload &w_;
+};
+
+} // namespace
+
+/**
+ * Participant side of the prepare phase: validate against the shard's
+ * own ConflictManager and persist inside the prepare window, or vote no
+ * by aborting and throwing.  One-shot — a participant never retries
+ * locally, because the coordinator holds its own branch open (and its
+ * commit point fixed) for the whole prepare round; generating an honest
+ * global abort beats stretching the prepare window with local loops.
+ */
+class ParticipantHook : public TxControlHook
+{
+  public:
+    ParticipantHook(TxCoordinator &coord, unsigned peer)
+        : coord_(coord), peer_(peer)
+    {
+    }
+
+    void
+    onExecuted(Workload &w, CoreId core) override
+    {
+        AtomicityBackend &be = w.backend();
+        Machine &m = be.machine();
+        if (!m.conflicts().validate(core, m.clock(core))) {
+            be.abort(core);
+            throw ShardTxAbort();
+        }
+        // Prepared: the backend commit here is the durable prepare
+        // record, stamped at the commit point validate() just fixed —
+        // a power failure from now on recovers to this outcome.
+        be.commit(core);
+        if (coord_.preparedHook_)
+            coord_.preparedHook_(peer_);
+    }
+
+  private:
+    TxCoordinator &coord_;
+    unsigned peer_;
+};
+
+/**
+ * Coordinator side: runs the full 2PC exchange from inside the home
+ * operation's open transaction (see the header's phase walkthrough).
+ */
+class CoordinatorHook : public TxControlHook
+{
+  public:
+    CoordinatorHook(TxCoordinator &coord, unsigned home, unsigned peer)
+        : coord_(coord), home_(home), peer_(peer)
+    {
+    }
+
+    void
+    onExecuted(Workload &w, CoreId core) override
+    {
+        Cluster &cluster = coord_.cluster_;
+        NetworkModel &net = cluster.network();
+        AtomicityBackend &hbe = w.backend();
+        Machine &hm = hbe.machine();
+
+        // Phase 1a: home arbitration.  A coordinator that cannot commit
+        // locally aborts before spending any network round.
+        if (!hm.conflicts().validate(core, hm.clock(core))) {
+            hbe.abort(core);
+            throw ShardTxAbort();
+        }
+
+        // Phase 1b: PREPARE fans out at the home commit point just
+        // fixed; the participant cannot start before the request lands.
+        const Cycles t_send = hm.clock(core);
+        ssp_assert(!hm.conflicts().enabled() ||
+                       hm.conflicts().preparedAt(core) == t_send,
+                   "prepare sent away from the fixed commit point");
+        Machine &pm = cluster.machine(peer_);
+        pm.clock(core) = std::max(
+            pm.clock(core),
+            t_send + net.messageCost(home_, peer_, kPrepareBytes));
+        ++coord_.stats_.prepareRoundTrips;
+
+        // Phase 2: the participant executes, validates and persists (or
+        // votes no).  Its runOp returning means its branch committed
+        // and its reference model updated; a no-vote unwinds past it.
+        Experiment &pexp = cluster.shard(peer_);
+        ParticipantHook participant(coord_, peer_);
+        HookScope scope(*pexp.workload, participant);
+        try {
+            pexp.workload->runOp(core);
+        } catch (const ShardTxAbort &) {
+            // Presumed abort: the no-vote travels back, the coordinator
+            // rolls back its own branch, and no decision message is
+            // owed to an aborted participant.
+            hm.clock(core) = std::max(
+                hm.clock(core),
+                pm.clock(core) + net.messageCost(peer_, home_,
+                                                 kVoteBytes));
+            hbe.abort(core);
+            throw;
+        }
+
+        // Phase 3: the commit vote travels back while the coordinator
+        // persists its own branch; the decision lands at whichever
+        // finishes last.
+        const Cycles t_vote =
+            pm.clock(core) + net.messageCost(peer_, home_, kVoteBytes);
+        hbe.commit(core);
+        const Cycles t_local = hm.clock(core);
+        const Cycles t_decide = std::max(t_local, t_vote);
+        coord_.stats_.coordinatorStallCycles += t_decide - t_local;
+        hm.clock(core) = t_decide;
+
+        // COMMIT fans back; the participant is released once it lands.
+        pm.clock(core) = std::max(
+            pm.clock(core),
+            t_decide + net.messageCost(home_, peer_, kDecisionBytes));
+    }
+
+  private:
+    TxCoordinator &coord_;
+    unsigned home_;
+    unsigned peer_;
+};
+
+void
+TxCoordinator::runSingleShard(unsigned home, CoreId core)
+{
+    cluster_.shard(home).workload->runOp(core);
+    ++stats_.singleShardTxs;
+}
+
+void
+TxCoordinator::tryCrossShard(unsigned home, unsigned peer, CoreId core)
+{
+    ssp_assert(home != peer, "cross-shard transaction with itself");
+    ssp_assert(home < cluster_.machines() && peer < cluster_.machines(),
+               "cross-shard transaction outside the cluster");
+    Workload &hw = *cluster_.shard(home).workload;
+    CoordinatorHook coordinator(*this, home, peer);
+    HookScope scope(hw, coordinator);
+    hw.runOp(core);
+    ++stats_.crossShardTxs;
+}
+
+void
+TxCoordinator::runCrossShard(unsigned home, unsigned peer, CoreId core)
+{
+    Machine &hm = cluster_.machine(home);
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            tryCrossShard(home, peer, core);
+            return;
+        } catch (const ShardTxAbort &) {
+            ++stats_.crossShardAborts;
+            // Charged like a local conflict abort: penalty plus capped
+            // exponential backoff on the coordinator core.  The retry
+            // is a fresh client request (new draws), so a hot footprint
+            // cannot pin one operation forever.
+            hm.clock(core) +=
+                hm.conflicts().retryPenalty(core, attempt);
+            ssp_assert(attempt < 1000, "cross-shard retry livelock");
+        }
+    }
+}
+
+} // namespace ssp::shard

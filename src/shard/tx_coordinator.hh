@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Two-phase commit for cross-shard transactions.
+ *
+ * A cross-shard transaction is one client operation executed as a pair
+ * of shard-local transactions — one on the coordinator's home shard,
+ * one on a participant shard — committed atomically:
+ *
+ *   1. The home operation executes and validates against the home
+ *      shard's ConflictManager (first-committer-wins, exactly the
+ *      single-machine arbitration).  A home conflict aborts before any
+ *      network round is spent.
+ *   2. PREPARE fans out to the participant.  The participant executes
+ *      its operation, validates against its own ConflictManager, and —
+ *      on success — persists through its backend *inside the prepare
+ *      window*: the backend commit is the durable prepare record, so a
+ *      power failure after the vote recovers to the validated outcome.
+ *      A participant conflict votes no; both branches roll back
+ *      (presumed abort — no decision message is needed).
+ *   3. The commit vote travels back while the coordinator persists its
+ *      own branch; the decision lands at whichever finishes last (the
+ *      difference is the coordinator stall), and the COMMIT decision
+ *      fans back to the participant.
+ *
+ * Aborts are surfaced by throwing ShardTxAbort through both shards'
+ * runOp frames after their backends rolled back — so neither workload's
+ * host-side reference model sees the aborted attempt, and the retry is
+ * a fresh client request.  Single-shard transactions never enter this
+ * file's machinery: runSingleShard is a plain runOp with no hook
+ * installed, cycle-identical to the single-machine path.
+ *
+ * Modeling note: the participant's prepare record is modeled as its
+ * full backend commit (redo/undo/SSP publication), which is what makes
+ * prepared state durable.  Coordinator failure between prepare and
+ * decision — the classic 2PC blocking window — is observable via
+ * setPreparedHook but an explicit coordinator-recovery log is future
+ * work (see README).
+ */
+
+#ifndef SSP_SHARD_TX_COORDINATOR_HH
+#define SSP_SHARD_TX_COORDINATOR_HH
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+#include "shard/cluster.hh"
+#include "workloads/workload.hh"
+
+namespace ssp::shard
+{
+
+/**
+ * Global abort of a cross-shard transaction: thrown after every open
+ * branch rolled back through its backend, unwinding both runOp frames
+ * before any reference model is updated.
+ */
+class ShardTxAbort : public std::exception
+{
+  public:
+    const char *
+    what() const noexcept override
+    {
+        return "cross-shard transaction aborted";
+    }
+};
+
+/** 2PC accounting across one cluster run. */
+struct ShardTxStats
+{
+    std::uint64_t singleShardTxs = 0;   ///< fast-path commits
+    std::uint64_t crossShardTxs = 0;    ///< 2PC commits
+    std::uint64_t prepareRoundTrips = 0;///< prepare/vote rounds completed
+    std::uint64_t crossShardAborts = 0; ///< global aborts (any shard)
+    Cycles coordinatorStallCycles = 0;  ///< decision waits on the vote
+};
+
+/** Drives single- and cross-shard transactions over a Cluster. */
+class TxCoordinator
+{
+  public:
+    explicit TxCoordinator(Cluster &cluster) : cluster_(cluster) {}
+
+    /**
+     * Single-shard fast path: one plain runOp on @p home — no hook, no
+     * network, no 2PC state; cycle-identical to the single-machine
+     * driver dispatching the same operation.
+     */
+    void runSingleShard(unsigned home, CoreId core);
+
+    /**
+     * One cross-shard attempt: home operation on @p home, participant
+     * operation on @p peer, committed via 2PC.  Throws ShardTxAbort on
+     * a global abort (all branches already rolled back).
+     */
+    void tryCrossShard(unsigned home, unsigned peer, CoreId core);
+
+    /**
+     * Cross-shard transaction with retries: attempts until one commits,
+     * charging the home core the conflict manager's abort penalty and
+     * exponential backoff per failed attempt.  Each retry is a fresh
+     * client request (new draws), so progress does not depend on the
+     * conflicting footprint staying fixed.
+     */
+    void runCrossShard(unsigned home, unsigned peer, CoreId core);
+
+    const ShardTxStats &stats() const { return stats_; }
+
+    /**
+     * Fault-injection hook (tests): invoked with the participant's
+     * shard index immediately after its prepare record persisted,
+     * before the vote returns — the window where a participant power
+     * failure must recover to the validated outcome.
+     */
+    void
+    setPreparedHook(std::function<void(unsigned peer)> hook)
+    {
+        preparedHook_ = std::move(hook);
+    }
+
+  private:
+    friend class CoordinatorHook;
+    friend class ParticipantHook;
+
+    Cluster &cluster_;
+    ShardTxStats stats_;
+    std::function<void(unsigned peer)> preparedHook_;
+};
+
+} // namespace ssp::shard
+
+#endif // SSP_SHARD_TX_COORDINATOR_HH

@@ -215,6 +215,15 @@ SweepCell::label() const
         out += std::string("/cc-") + conflictModeName(conflictMode);
     if (coherenceMode == CoherenceMode::Directory)
         out += "/dir";
+    // Cluster coordinates: every shard-grid cell names its machine
+    // count (m1 included, so the fast-path cells are self-describing);
+    // the cross-shard fraction exists only where 2PC is possible, in
+    // percent for byte-stable labels ("x10").
+    if (figure == "shard" || machines > 1)
+        out += "/m" + std::to_string(machines);
+    if (machines > 1)
+        out += "/x" + std::to_string(
+                   std::lround(crossShardFraction * 100));
     if (offeredLoad > 0) {
         // Loads are encoded in percent ("load120") — integers keep the
         // label byte-stable regardless of float-formatting locale.
@@ -252,6 +261,7 @@ knownFigures()
         "scale64",
         "scale256",
         "queue",
+        "shard",
         "smoke",
     };
 }
@@ -381,6 +391,26 @@ defaultLoadList()
     return {0.3, 0.6, 0.9, 1.2};
 }
 
+/** Cluster sizes the shard grid sweeps by default. */
+std::vector<unsigned>
+defaultMachineList()
+{
+    return {1, 2, 4, 8};
+}
+
+/** Cross-shard fractions the shard grid sweeps: partitionable, lightly
+ *  entangled, and heavily entangled transactions (a fixed axis — the
+ *  fraction is a workload property, not a deployment knob). */
+std::vector<double>
+shardCrossFractions()
+{
+    return {0, 0.1, 0.5};
+}
+
+/** Cores each shard-grid machine runs: the scale grid's 4-core point,
+ *  so the 1-machine cells replay the checked-in scale c4 cells. */
+constexpr unsigned kShardCores = 4;
+
 /** The three paper designs every scaling grid compares. */
 std::vector<BackendKind>
 scaleBackends()
@@ -404,6 +434,16 @@ queueWorkloads()
 {
     return {WorkloadKind::Sps, WorkloadKind::BTreeZipf,
             WorkloadKind::HashRand};
+}
+
+/** Workloads of the shard grid (the queue grid's three scenarios).
+ *  Expressed as a membership test because the shard grid walks the full
+ *  scale plane to pin seed ordinals (see the generator). */
+bool
+shardWorkload(WorkloadKind w)
+{
+    return w == WorkloadKind::Sps || w == WorkloadKind::BTreeZipf ||
+           w == WorkloadKind::HashRand;
 }
 
 /** Workloads of the scale grid: shared-uniform (SPS), partitioned
@@ -670,6 +710,46 @@ generateCells(const std::string &figure, std::uint64_t txs,
                     emit);
             }
         }
+    } else if (figure == "shard") {
+        // Multi-machine scaling on the smoke machine: the three paper
+        // designs x three sharing scenarios across cluster sizes and
+        // cross-shard fractions, 4 cores per machine.  Seed ordinals
+        // are pinned to the (workload, backend) position in the *scale*
+        // plane — not this grid's own — so every machine count and
+        // fraction replays the scale grid's exact streams, and the
+        // 1-machine cells are cycle-identical to the checked-in
+        // BENCH_scale.json c4 cells (scripts/check.sh diffs the two).
+        const std::vector<unsigned> machine_list =
+            opts.machines.empty() ? defaultMachineList() : opts.machines;
+        for (unsigned machines : machine_list) {
+            for (double frac : shardCrossFractions()) {
+                // One machine has no peers: only the frac=0 fast-path
+                // point exists.
+                if (machines == 1 && frac > 0)
+                    continue;
+                std::int64_t plane_ordinal = 0;
+                for (WorkloadKind w : scaleWorkloads()) {
+                    for (BackendKind b : scaleBackends()) {
+                        const std::int64_t seed_ordinal =
+                            plane_ordinal++;
+                        if (!shardWorkload(w))
+                            continue;
+                        SweepCell cell;
+                        cell.backend = b;
+                        cell.workload = w;
+                        cell.seedOrdinal = seed_ordinal;
+                        cell.txs = txs;
+                        cell.cores = kShardCores;
+                        cell.base = smokeConfig();
+                        cell.machines = machines;
+                        cell.crossShardFraction = frac;
+                        if (partitionedWorkload(w))
+                            cell.keyShards = kShardCores;
+                        emit(std::move(cell));
+                    }
+                }
+            }
+        }
     } else if (figure == "smoke") {
         // One tiny CI cell proving the whole pipeline end to end.
         SweepCell cell;
@@ -706,9 +786,13 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
 {
     std::uint64_t txs = opts.txs != 0 ? opts.txs : kDefaultTxs;
     // The scale grid shares the smoke machine and transaction budget so
-    // its single-core cells stay directly comparable to the smoke cell.
-    if (opts.txs == 0 && (figure == "smoke" || figure == "scale"))
+    // its single-core cells stay directly comparable to the smoke cell;
+    // the shard grid shares both so its 1-machine cells stay
+    // cycle-identical to the scale grid's 4-core cells.
+    if (opts.txs == 0 && (figure == "smoke" || figure == "scale" ||
+                          figure == "shard")) {
         txs = 400;
+    }
     // The scale64 grid runs the full paper workload scale; 2000
     // transactions per cell keeps the 126-cell grid affordable while
     // leaving each multi-core cell long enough to time meaningfully.
@@ -759,10 +843,16 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
             }
         }
     }
-    // ... and only the open-loop queue grid sweeps offered loads.
+    // ... and only the open-loop queue grid sweeps offered loads ...
     if (!opts.loads.empty() && figure != "queue") {
         ssp_fatal("the loads option only applies to the 'queue' grid, "
                   "not '%s'",
+                  figure.c_str());
+    }
+    // ... and only the shard grid sweeps cluster sizes.
+    if (!opts.machines.empty() && figure != "shard") {
+        ssp_fatal("the machines option only applies to the 'shard' "
+                  "grid, not '%s'",
                   figure.c_str());
     }
     // Per-cell key sharding is a grid decision (the scale grid's
@@ -781,9 +871,11 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
         cell.scale.keyShards = cell.keyShards;
         cell.nvramDevice = opts.nvramDevice;
         cell.conflictMode = opts.conflictMode;
-        if (figure == "smoke" || figure == "scale") {
+        if (figure == "smoke" || figure == "scale" ||
+            figure == "shard") {
             // Keep the cells proportionate to their tiny machine (and
-            // the scale grid's streams identical to the smoke cell's).
+            // the scale/shard grids' streams identical to the smoke
+            // cell's plane).
             cell.scale.keySpace = std::min<std::uint64_t>(
                 cell.scale.keySpace, 1024);
             cell.scale.spsElements = std::min<std::uint64_t>(

@@ -87,6 +87,12 @@ struct SweepCell
      *  Directory prices the same events on the 2D-mesh home-node
      *  directory (src/interconnect/). */
     CoherenceMode coherenceMode = CoherenceMode::Broadcast;
+    /** shard-grid knob: machines in the simulated cluster.  1 runs the
+     *  single-machine driver verbatim (src/shard/ is never entered). */
+    unsigned machines = 1;
+    /** shard-grid knob: probability a coordinator slot becomes a
+     *  cross-shard 2PC transaction; only meaningful with machines > 1. */
+    double crossShardFraction = 0;
 
     /**
      * Seed-derivation ordinal override; -1 derives from the cell's
@@ -135,6 +141,11 @@ struct SweepGridOptions
     std::vector<double> loads{};
     /** queue grid: arrival process applied to every cell. */
     serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
+    /** shard grid: cluster sizes to sweep; empty = {1, 2, 4, 8}.  Seeds
+     *  are pinned per (workload, backend) to the scale grid's plane, so
+     *  machine counts (and the 1-machine cells vs the checked-in scale
+     *  cells) replay the identical operation stream. */
+    std::vector<unsigned> machines{};
     /** NVRAM device preset applied to every cell of the grid. */
     NvramDevice nvramDevice = NvramDevice::PaperPcm;
     /** Conflict handling applied to every cell of the grid. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -20,6 +21,9 @@ namespace
 /** Ordinal separating a cell's arrival stream from its key stream. */
 constexpr std::uint64_t kArrivalSeedOrdinal = 101;
 
+/** Ordinal separating a shard cell's routing stream from its keys. */
+constexpr std::uint64_t kRouteSeedOrdinal = 211;
+
 CellResult
 runOneCell(const SweepCell &cell, unsigned cell_threads)
 {
@@ -27,6 +31,31 @@ runOneCell(const SweepCell &cell, unsigned cell_threads)
     res.cell = cell;
     const auto host_start = std::chrono::steady_clock::now();
     try {
+        if (cell.machines > 1) {
+            // Cluster cell: each machine gets its own Experiment (own
+            // seed stream, see Cluster::shardSeed) and the routing
+            // stream deciding which slots go cross-shard draws from a
+            // third, independent stream.  Ghost speculation is a
+            // single-machine Rounds feature, so cluster cells ignore
+            // the cell-thread budget.
+            shard::Cluster cluster(cell.backend, cell.workload,
+                                   cell.config(), cell.scale,
+                                   cell.machines);
+            shard::ShardRunResult sr = shard::runClusterExperiment(
+                cluster, cell.txs, cell.cores, cell.crossShardFraction,
+                deriveCellSeed(cell.scale.seed, kRouteSeedOrdinal));
+            res.run = std::move(sr.aggregate);
+            res.shardRuns = std::move(sr.shards);
+            res.shardTx = sr.tx;
+            res.networkMessages = sr.networkMessages;
+            res.networkCycles = sr.networkCycles;
+            res.ok = true;
+            res.hostMillis =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - host_start)
+                    .count();
+            return res;
+        }
         Experiment exp = buildExperiment(cell.backend, cell.workload,
                                          cell.config(), cell.scale);
         if (cell.offeredLoad > 0) {
@@ -170,6 +199,17 @@ sweepReport(const std::string &figure,
             c.set("coherence",
                   Json::str(coherenceModeName(r.cell.coherenceMode)));
         }
+        // The machines coordinate exists on every shard cell (the
+        // grid's axis, constant-schema) and on any future multi-machine
+        // cell; the cross-shard fraction only where 2PC can happen, so
+        // the 1-machine cells' entries mirror the scale grid's shape.
+        if (r.cell.figure == "shard" || r.cell.machines > 1)
+            c.set("machines",
+                  Json::number(std::uint64_t{r.cell.machines}));
+        if (r.cell.machines > 1)
+            c.set("cross_shard_pct",
+                  Json::number(static_cast<std::uint64_t>(std::lround(
+                      r.cell.crossShardFraction * 100))));
         // Seeds span the full 64-bit range, past the 2^53 integers a
         // JSON number can hold exactly — emit them as hex strings.
         char seed_hex[32];
@@ -256,6 +296,32 @@ sweepReport(const std::string &figure,
             m.set("conflicts_read_write",
                   Json::number(r.run.conflictsReadWrite));
             m.set("backoff_cycles", Json::number(r.run.backoffCycles));
+        }
+        // 2PC and network metrics exist only where a network exists:
+        // multi-machine cells.  1-machine shard cells keep the exact
+        // single-machine metrics schema so scripts/check.sh can diff
+        // them byte for byte against the scale grid's cells.
+        if (r.cell.machines > 1) {
+            m.set("single_shard_txs",
+                  Json::number(r.shardTx.singleShardTxs));
+            m.set("cross_shard_txs",
+                  Json::number(r.shardTx.crossShardTxs));
+            m.set("prepare_round_trips",
+                  Json::number(r.shardTx.prepareRoundTrips));
+            m.set("cross_shard_aborts",
+                  Json::number(r.shardTx.crossShardAborts));
+            m.set("coordinator_stall_cycles",
+                  Json::number(r.shardTx.coordinatorStallCycles));
+            m.set("network_messages", Json::number(r.networkMessages));
+            m.set("network_cycles", Json::number(r.networkCycles));
+            Json shard_cycles = Json::array();
+            for (const RunResult &s : r.shardRuns)
+                shard_cycles.push(Json::number(s.cycles));
+            m.set("shard_cycles", std::move(shard_cycles));
+            Json shard_txs = Json::array();
+            for (const RunResult &s : r.shardRuns)
+                shard_txs.push(Json::number(s.committedTxs));
+            m.set("shard_committed_txs", std::move(shard_txs));
         }
         // Tail-latency metrics exist only on open-loop serve cells —
         // a closed-loop run has no queues, so no request ever waits.

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "shard/shard_driver.hh"
 #include "sim/driver.hh"
 #include "sim/report.hh"
 #include "sweep/sweep_grid.hh"
@@ -29,6 +30,14 @@ struct CellResult
     RunResult run{};
     bool ok = false;
     std::string error; ///< exception text when !ok
+    /** Per-shard deltas; non-empty only on machines > 1 cells. */
+    std::vector<RunResult> shardRuns;
+    /** 2PC accounting; all zero unless machines > 1. */
+    shard::ShardTxStats shardTx{};
+    /** Cross-machine messages priced by the shard NetworkModel. */
+    std::uint64_t networkMessages = 0;
+    /** Cycles those messages charged to core clocks. */
+    Cycles networkCycles = 0;
     /**
      * Host wall-clock time this cell took to build and run, in
      * milliseconds.  Always measured (one steady_clock pair per cell);

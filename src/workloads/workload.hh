@@ -26,6 +26,28 @@
 namespace ssp
 {
 
+class Workload;
+
+/**
+ * Commit-control hook for distributed transactions (src/shard/).  When
+ * installed, runTx executes begin + body once and then hands the commit
+ * decision to the hook instead of running the local
+ * validate/commit-or-retry loop: the hook must either commit the open
+ * transaction (possibly after cross-shard coordination) or abort it
+ * through the backend and throw, so the exception unwinds out of runOp
+ * before any host-side reference model is touched.  Without a hook the
+ * single-machine path is untouched.
+ */
+class TxControlHook
+{
+  public:
+    virtual ~TxControlHook() = default;
+
+    /** @p w's transaction on @p core has executed its body and is open
+     *  (begun, unvalidated).  Commit it or abort-and-throw. */
+    virtual void onExecuted(Workload &w, CoreId core) = 0;
+};
+
 /** One benchmark workload bound to a backend. */
 class Workload
 {
@@ -75,6 +97,13 @@ class Workload
     void setKeyShards(unsigned shards) { keyShards_ = shards; }
     unsigned keyShards() const { return keyShards_; }
 
+    /**
+     * Install (or clear, with nullptr) the distributed commit-control
+     * hook; not owned.  See TxControlHook.
+     */
+    void setTxControl(TxControlHook *hook) { txControl_ = hook; }
+    TxControlHook *txControl() const { return txControl_; }
+
   protected:
     /**
      * Run one durable operation under concurrent conflict handling:
@@ -97,6 +126,17 @@ class Workload
     runTx(CoreId core, BodyFn &&body)
     {
         AtomicityBackend &be = backend();
+        if (txControl_ != nullptr) {
+            // Distributed commit control: execute once and delegate the
+            // commit decision.  The hook either commits here or aborts
+            // through the backend and throws past this frame — so an
+            // aborted attempt never returns, and the caller's post-runTx
+            // reference-model update never happens for it.
+            be.begin(core);
+            body();
+            txControl_->onExecuted(*this, core);
+            return;
+        }
         Machine &m = be.machine();
         ConflictManager &cm = m.conflicts();
         for (unsigned attempt = 1;; ++attempt) {
@@ -133,6 +173,7 @@ class Workload
     TxHeap heap_;
     PersistAlloc &alloc_;
     unsigned keyShards_ = 1;
+    TxControlHook *txControl_ = nullptr;
 };
 
 } // namespace ssp
