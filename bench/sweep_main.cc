@@ -35,7 +35,8 @@ usage(int exit_code)
         "\n"
         "  --figure NAME      grid to run: fig5 fig6 fig7 fig8 fig9\n"
         "                     table3 table45 chan scale scale64\n"
-        "                     scale256 queue shard smoke (required)\n"
+        "                     scale256 queue shard fault smoke\n"
+        "                     (required)\n"
         "  --backends LIST    comma-separated subset of ssp,undo,redo,\n"
         "                     shadow (default: the figure's own set)\n"
         "  --workloads LIST   comma-separated subset of Table 3 names\n"
@@ -47,8 +48,14 @@ usage(int exit_code)
         "                     1,2,4,8,16,32,64 / 1,4,16,64,128,256 /\n"
         "                     4,16; scale256 accepts up to 256, the\n"
         "                     other grids' machines cap at 64)\n"
-        "  --machines LIST    shard grid: cluster sizes to sweep\n"
-        "                     (e.g. 1,2,4; default: 1,2,4,8)\n"
+        "  --machines LIST    shard/fault grids: cluster sizes to sweep\n"
+        "                     (e.g. 1,2,4; default: 1,2,4,8 for shard,\n"
+        "                     1,2,4 for fault)\n"
+        "  --fault-rate LIST  fault grid: expected machine failures per\n"
+        "                     million cycles per machine (e.g. 0,5,20;\n"
+        "                     default: 0,5,20; 0 = armed but quiet)\n"
+        "  --replicate MODE   fault grid: primary/backup replication —\n"
+        "                     off, on, or both (default: both)\n"
         "  --load LIST        queue grid: offered loads as factors of\n"
         "                     measured closed-loop capacity (default:\n"
         "                     0.3,0.6,0.9,1.2)\n"
@@ -129,6 +136,14 @@ parseArgs(int argc, char **argv)
             // the count lists above.
             for (unsigned v : parseCountList(arg, next_value(i), 64))
                 args.grid.machines.push_back(v);
+        } else if (arg == "--fault-rate") {
+            // parseFaultRateList is fatal on an empty or invalid list,
+            // like the count lists above.
+            for (double v : parseFaultRateList(arg, next_value(i)))
+                args.grid.faultRates.push_back(v);
+        } else if (arg == "--replicate") {
+            args.grid.replicateModes =
+                parseReplicateModes(next_value(i));
         } else if (arg == "--load") {
             // parseLoadList is fatal on an empty or invalid list, like
             // the count lists above.
@@ -192,10 +207,22 @@ parseArgs(int argc, char **argv)
                      args.figure.c_str());
         usage(2);
     }
-    if (!args.grid.machines.empty() && args.figure != "shard") {
+    if (!args.grid.machines.empty() && args.figure != "shard" &&
+        args.figure != "fault") {
         std::fprintf(stderr,
-                     "--machines only applies to '--figure shard', not "
-                     "'%s'\n",
+                     "--machines only applies to '--figure shard' or "
+                     "'--figure fault', not '%s'\n",
+                     args.figure.c_str());
+        usage(2);
+    }
+    if ((!args.grid.faultRates.empty() ||
+         !args.grid.replicateModes.empty()) &&
+        args.figure != "fault") {
+        // Only the fault grid arms the injector; erroring beats
+        // silently emitting fault-free results labeled as a fault run.
+        std::fprintf(stderr,
+                     "--fault-rate/--replicate only apply to '--figure "
+                     "fault', not '%s'\n",
                      args.figure.c_str());
         usage(2);
     }

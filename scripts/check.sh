@@ -223,4 +223,89 @@ print("shard schema ok across %d cells "
                                                   single))
 EOF
 
+echo "== fault report schema validation =="
+# The checked-in fault grid must carry the machines / fault_rate_tenths
+# / replicated coordinates on every cell (constant-schema axes); the
+# fault-harness counters exist exactly on injecting cells (rate > 0)
+# and the log-shipping counters exactly on replicated cells; every
+# injected failure was either recovered in place or failed over
+# (replication decides which, exclusively); and every zero-fault
+# non-replicated cell is byte-identical to its shard-grid (clustered)
+# or scale-grid (single-machine) twin — faults are strictly opt-in.
+python3 - "$repo_root/BENCH_fault.json" "$repo_root/BENCH_shard.json" \
+    "$repo_root/BENCH_scale.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["figure"] == "fault", "BENCH_fault.json is not a fault report"
+assert doc["cells"], "fault report has no cells"
+fault_fields = ("injected_power_fails", "coordinator_crashes",
+                "participant_crashes", "recoveries", "failovers",
+                "recovery_stall_cycles", "failover_stall_cycles",
+                "presumed_aborts", "decision_records", "messages_lost",
+                "rpc_retries", "rpc_timeout_stall_cycles",
+                "committed_despite_faults")
+ship_fields = ("log_ship_messages", "log_ship_cycles")
+shard_cells = {c["label"]: c
+               for c in json.load(open(sys.argv[2]))["cells"]}
+scale_cells = {c["label"]: c
+               for c in json.load(open(sys.argv[3]))["cells"]}
+injecting, quiet, twins = 0, 0, 0
+for c in doc["cells"]:
+    assert c.get("ok"), "cell %s failed" % c["label"]
+    for coord in ("machines", "fault_rate_tenths", "replicated"):
+        assert coord in c, "cell %s lacks the %s coordinate" % \
+            (c["label"], coord)
+    m = c["metrics"]
+    injects = c["fault_rate_tenths"] > 0
+    for f in fault_fields:
+        assert (f in m) == injects, \
+            "cell %s %s %s" % (c["label"],
+                               "lacks" if injects else "leaks", f)
+    for f in ship_fields:
+        assert (f in m) == c["replicated"], \
+            "cell %s %s %s" % (c["label"],
+                               "lacks" if c["replicated"] else "leaks",
+                               f)
+    if injects:
+        injecting += 1
+        assert m["injected_power_fails"] > 0, \
+            "cell %s injected nothing at a nonzero rate" % c["label"]
+        assert (m["recoveries"] + m["failovers"]
+                == m["injected_power_fails"]), \
+            "cell %s lost a failure (power fails != recoveries " \
+            "+ failovers)" % c["label"]
+        # Replication converts every in-place recovery into a failover.
+        if c["replicated"]:
+            assert m["recoveries"] == 0, \
+                "replicated cell %s recovered in place" % c["label"]
+        else:
+            assert m["failovers"] == 0, \
+                "unreplicated cell %s failed over" % c["label"]
+    elif not c["replicated"]:
+        # Zero-fault, unreplicated: the harness must not have run at
+        # all.  Clustered cells replay the shard grid's matching
+        # (machines, x10) cell; single-machine cells replay the scale
+        # grid's 4-core cell — both metrics-dict byte-identity.
+        quiet += 1
+        label = c["label"]
+        assert label.endswith("/f0"), label
+        base = label[:-len("/f0")]
+        if c["machines"] > 1:
+            ref = shard_cells.get(base.replace("fault/", "shard/", 1))
+        else:
+            assert base.endswith("/m1"), label
+            ref = scale_cells.get(
+                base[:-len("/m1")].replace("fault/", "scale/", 1))
+        assert ref is not None, "no twin for %s" % label
+        twins += 1
+        assert m == ref["metrics"], \
+            "zero-fault cell %s is not byte-identical to its twin" \
+            % label
+assert injecting and quiet, "fault grid lost a rate class"
+assert twins == quiet, "fault grid quiet/twin mismatch"
+print("fault schema ok across %d cells (%d injecting, "
+      "%d zero-fault twins checked)" % (len(doc["cells"]), injecting,
+                                        twins))
+EOF
+
 echo "OK"

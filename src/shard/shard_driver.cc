@@ -60,11 +60,11 @@ aggregateShards(const std::vector<RunResult> &shards, unsigned num_cores)
 ShardRunResult
 runClusterExperiment(Cluster &cluster, std::uint64_t txs_per_shard,
                      unsigned num_cores, double cross_shard_fraction,
-                     std::uint64_t route_seed)
+                     std::uint64_t route_seed, ClusterFaultDriver *faults)
 {
     ShardRunResult res;
     const unsigned machines = cluster.machines();
-    if (machines == 1) {
+    if (machines == 1 && faults == nullptr) {
         // The 1-machine cluster IS the single-machine model: same
         // driver, same barriers, same clocks — cycle-identical by
         // construction.  No 2PC state exists to report.
@@ -92,15 +92,28 @@ runClusterExperiment(Cluster &cluster, std::uint64_t txs_per_shard,
         machines, std::vector<std::uint64_t>(num_cores, 0));
 
     TxCoordinator coord(cluster);
+    if (faults != nullptr)
+        coord.setFaultHooks(faults->txHooks());
     Rng route(route_seed);
     for (std::uint64_t i = 0; i < txs_per_shard; ++i) {
         const CoreId core = static_cast<CoreId>(i % num_cores);
+        // Scheduled faults fire between slots: a machine whose clock
+        // crossed its next fault cycle power-fails here, and window
+        // faults (coordinator/participant crash) arm for the slot.
+        if (faults != nullptr)
+            faults->atSlotStart();
         for (unsigned m = 0; m < machines; ++m) {
-            const bool cross = cross_shard_fraction > 0 &&
+            const bool cross = machines > 1 && cross_shard_fraction > 0 &&
                                route.nextBool(cross_shard_fraction);
             const Cycles home_start = cluster.machine(m).clock(core);
             if (!cross) {
                 coord.runSingleShard(m, core);
+                // Replication ships every commit synchronously; the
+                // committing core waits for the backup's ack.
+                if (faults != nullptr) {
+                    cluster.machine(m).clock(core) +=
+                        faults->shipCommit(m, core);
+                }
             } else {
                 // The client's next request touches a key owned by one
                 // of the other shards, uniform under the hash
@@ -137,6 +150,8 @@ runClusterExperiment(Cluster &cluster, std::uint64_t txs_per_shard,
         if (num_cores > 1)
             cluster.machine(m).syncClocks();
     }
+    if (faults != nullptr)
+        faults->atRunEnd();
 
     res.shards.resize(machines);
     for (unsigned m = 0; m < machines; ++m) {

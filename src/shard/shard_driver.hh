@@ -45,18 +45,53 @@ struct ShardRunResult
 };
 
 /**
+ * Fault-harness surface of the cluster driver.  One implementation
+ * (fault::FaultInjector) owns the cell's FaultPlan; the driver only
+ * gives it deterministic injection points: the top of every coordinator
+ * slot (where scheduled power-fails fire and window faults arm), the
+ * log-ship charge after every single-shard commit, and the end of the
+ * run (verification + delta accounting).
+ */
+class ClusterFaultDriver
+{
+  public:
+    virtual ~ClusterFaultDriver() = default;
+
+    /** The TxFaultHooks to install on the coordinator. */
+    virtual TxFaultHooks *txHooks() = 0;
+
+    /** Called at the top of every coordinator slot, before any
+     *  operation of the slot runs. */
+    virtual void atSlotStart() = 0;
+
+    /** Cycles to ship one single-shard commit's log records to
+     *  @p machine's backup (0 when replication is off). */
+    virtual Cycles shipCommit(unsigned machine, CoreId core) = 0;
+
+    /** Called after the final barrier, before metrics are cut. */
+    virtual void atRunEnd() = 0;
+};
+
+/**
  * Run @p txs_per_shard coordinator operations per shard across
  * @p num_cores cores per machine.  Each slot becomes a cross-shard
  * transaction with probability @p cross_shard_fraction (peer drawn
  * uniformly from the other shards); the routing stream is seeded by
  * @p route_seed, independent of every workload stream.  With one
  * machine the call is exactly runExperiment on shard 0.
+ *
+ * @p faults, when non-null, arms the fault harness: scheduled machine
+ * failures fire at slot boundaries, 2PC runs in the logged mode, and
+ * commits are log-shipped when replication is on.  A 1-machine cluster
+ * with faults armed runs the general loop (so failures can fire), not
+ * the runExperiment delegate.
  */
 ShardRunResult runClusterExperiment(Cluster &cluster,
                                     std::uint64_t txs_per_shard,
                                     unsigned num_cores,
                                     double cross_shard_fraction,
-                                    std::uint64_t route_seed);
+                                    std::uint64_t route_seed,
+                                    ClusterFaultDriver *faults = nullptr);
 
 } // namespace ssp::shard
 

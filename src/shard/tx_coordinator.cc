@@ -150,6 +150,191 @@ class CoordinatorHook : public TxControlHook
     unsigned peer_;
 };
 
+/**
+ * @{ Logged 2PC mode (fault harness installed via setFaultHooks).
+ *
+ * The reliable-mode protocol above makes the participant's backend
+ * commit the durable prepare record — safe on a perfect network, but
+ * un-abortable once a coordinator crash forces presumed abort.  The
+ * logged mode therefore moves the commit point: the participant's
+ * prepare stays *volatile* (its branch is held open through the hook),
+ * and the coordinator's backend commit plus a durable decision record
+ * form the single commit point.  The two crash windows the FaultPlan
+ * arms are exactly the ones this shape keeps consistent:
+ *
+ *  - ParticipantCrash (validated, vote never departs): nothing durable
+ *    anywhere; the coordinator times out and presumes abort.
+ *  - CoordinatorCrash (votes in, decision not yet durable): nothing
+ *    durable anywhere; the participant drops its open branch, the
+ *    coordinator recovers, and the participant re-queries the decision
+ *    log (a priced round trip) instead of blocking.
+ *
+ * After the decision record persists, both branches commit in-frame, so
+ * a decision can never be half-applied.
+ */
+
+/** Shared per-attempt state between the logged 2PC hooks. */
+struct LoggedTxState
+{
+    bool homeCommitted = false;
+    bool homeCrashed = false;
+};
+
+/**
+ * Participant lost inside the prepare window: its vote never departs.
+ * Internal — always converted to ShardTxAbort before leaving the
+ * coordinator, after the vote timeout is charged.
+ */
+struct ParticipantLost
+{
+};
+
+/** Participant side of the logged prepare phase (volatile prepare). */
+class LoggedParticipantHook : public TxControlHook
+{
+  public:
+    LoggedParticipantHook(TxCoordinator &coord, AtomicityBackend &hbe,
+                          unsigned home, unsigned peer,
+                          LoggedTxState &state)
+        : coord_(coord), hbe_(hbe), home_(home), peer_(peer),
+          state_(state)
+    {
+    }
+
+    void
+    onExecuted(Workload &w, CoreId core) override
+    {
+        TxFaultHooks &fh = *coord_.faultHooks_;
+        AtomicityBackend &pbe = w.backend();
+        Machine &pm = pbe.machine();
+        if (!pm.conflicts().validate(core, pm.clock(core))) {
+            pbe.abort(core);
+            throw ShardTxAbort();
+        }
+        // Validated, commit point fixed — but the prepare is volatile:
+        // the branch stays open until the decision, and nothing durable
+        // exists on this shard yet.
+        if (coord_.preparedHook_)
+            coord_.preparedHook_(peer_);
+        if (fh.participantCrashArmed(peer_)) {
+            // The vote never departs: the machine dies, and the power
+            // failure itself discards the open branch.
+            fh.failParticipant(peer_, core);
+            throw ParticipantLost();
+        }
+        const Cycles t_vote =
+            pm.clock(core) + fh.sendReliable(peer_, home_, kVoteBytes);
+        if (fh.coordinatorCrashArmed(home_)) {
+            // The classic blocking window: the vote is in, the decision
+            // record is not durable.  Presumed abort — drop the open
+            // branch; the hook power-fails the coordinator, prices its
+            // recovery, and prices this shard's decision-log query.
+            state_.homeCrashed = true;
+            pbe.abort(core);
+            fh.failCoordinator(home_, peer_, core);
+            throw ShardTxAbort();
+        }
+        // Decision: the home backend commit plus the durable decision
+        // record form the single commit point, both on the home machine.
+        Machine &hm = hbe_.machine();
+        hbe_.commit(core);
+        const Cycles t_local = hm.clock(core);
+        const Cycles t_decide = std::max(t_local, t_vote);
+        coord_.stats_.coordinatorStallCycles += t_decide - t_local;
+        hm.clock(core) = t_decide + fh.persistDecision(home_, core);
+        hm.clock(core) += fh.shipCommit(home_, core);
+        state_.homeCommitted = true;
+        // COMMIT fans back; the participant commits durably on receipt
+        // (stamped at its prepare point) and ships its own records.
+        pm.clock(core) = std::max(
+            pm.clock(core),
+            hm.clock(core) +
+                fh.sendReliable(home_, peer_, kDecisionBytes));
+        pbe.commit(core);
+        pm.clock(core) += fh.shipCommit(peer_, core);
+    }
+
+  private:
+    TxCoordinator &coord_;
+    AtomicityBackend &hbe_;
+    unsigned home_;
+    unsigned peer_;
+    LoggedTxState &state_;
+};
+
+/** Coordinator side of the logged mode. */
+class LoggedCoordinatorHook : public TxControlHook
+{
+  public:
+    LoggedCoordinatorHook(TxCoordinator &coord, unsigned home,
+                          unsigned peer)
+        : coord_(coord), home_(home), peer_(peer)
+    {
+    }
+
+    void
+    onExecuted(Workload &w, CoreId core) override
+    {
+        Cluster &cluster = coord_.cluster_;
+        TxFaultHooks &fh = *coord_.faultHooks_;
+        AtomicityBackend &hbe = w.backend();
+        Machine &hm = hbe.machine();
+
+        if (!hm.conflicts().validate(core, hm.clock(core))) {
+            hbe.abort(core);
+            throw ShardTxAbort();
+        }
+
+        const Cycles t_send = hm.clock(core);
+        ssp_assert(!hm.conflicts().enabled() ||
+                       hm.conflicts().preparedAt(core) == t_send,
+                   "prepare sent away from the fixed commit point");
+        Machine &pm = cluster.machine(peer_);
+        pm.clock(core) = std::max(
+            pm.clock(core),
+            t_send + fh.sendReliable(home_, peer_, kPrepareBytes));
+        ++coord_.stats_.prepareRoundTrips;
+
+        Experiment &pexp = cluster.shard(peer_);
+        LoggedTxState state;
+        LoggedParticipantHook participant(coord_, hbe, home_, peer_,
+                                          state);
+        HookScope scope(*pexp.workload, participant);
+        try {
+            pexp.workload->runOp(core);
+        } catch (const ParticipantLost &) {
+            // Silent participant: wait out the vote timeout, presume
+            // abort, roll back the home branch.
+            hm.clock(core) += fh.voteTimeout();
+            hbe.abort(core);
+            throw ShardTxAbort();
+        } catch (const ShardTxAbort &) {
+            if (state.homeCrashed) {
+                // The home machine failed and recovered inside the
+                // window; its open branch died with it — nothing left
+                // to abort here.
+                throw;
+            }
+            // Participant voted no: price the no-vote, roll back.
+            hm.clock(core) = std::max(
+                hm.clock(core),
+                pm.clock(core) +
+                    fh.sendReliable(peer_, home_, kVoteBytes));
+            hbe.abort(core);
+            throw;
+        }
+        ssp_assert(state.homeCommitted,
+                   "logged 2PC returned without a durable decision");
+    }
+
+  private:
+    TxCoordinator &coord_;
+    unsigned home_;
+    unsigned peer_;
+};
+
+/** @} */
+
 void
 TxCoordinator::runSingleShard(unsigned home, CoreId core)
 {
@@ -164,9 +349,15 @@ TxCoordinator::tryCrossShard(unsigned home, unsigned peer, CoreId core)
     ssp_assert(home < cluster_.machines() && peer < cluster_.machines(),
                "cross-shard transaction outside the cluster");
     Workload &hw = *cluster_.shard(home).workload;
-    CoordinatorHook coordinator(*this, home, peer);
-    HookScope scope(hw, coordinator);
-    hw.runOp(core);
+    if (faultHooks_ != nullptr) {
+        LoggedCoordinatorHook coordinator(*this, home, peer);
+        HookScope scope(hw, coordinator);
+        hw.runOp(core);
+    } else {
+        CoordinatorHook coordinator(*this, home, peer);
+        HookScope scope(hw, coordinator);
+        hw.runOp(core);
+    }
     ++stats_.crossShardTxs;
 }
 

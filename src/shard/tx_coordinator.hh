@@ -29,12 +29,18 @@
  * file's machinery: runSingleShard is a plain runOp with no hook
  * installed, cycle-identical to the single-machine path.
  *
- * Modeling note: the participant's prepare record is modeled as its
- * full backend commit (redo/undo/SSP publication), which is what makes
- * prepared state durable.  Coordinator failure between prepare and
- * decision — the classic 2PC blocking window — is observable via
- * setPreparedHook but an explicit coordinator-recovery log is future
- * work (see README).
+ * Modeling note: in the default (reliable) mode the participant's
+ * prepare record is modeled as its full backend commit (redo/undo/SSP
+ * publication), which is what makes prepared state durable.  With fault
+ * hooks installed (setFaultHooks) the protocol switches to the *logged*
+ * mode: the participant's prepare stays volatile, the coordinator's own
+ * backend commit plus a durable decision record (persistDecision) form
+ * the single commit point, and messages travel over the unreliable
+ * sendReliable path.  A coordinator crash between collecting votes and
+ * persisting the decision — the classic 2PC blocking window — then
+ * resolves by presumed abort: nothing is durable anywhere, the
+ * participant drops its open branch, and on recovery it re-queries the
+ * coordinator's decision log (a priced round trip) instead of blocking.
  */
 
 #ifndef SSP_SHARD_TX_COORDINATOR_HH
@@ -63,6 +69,50 @@ class ShardTxAbort : public std::exception
     {
         return "cross-shard transaction aborted";
     }
+};
+
+/**
+ * Fault-injection surface of the logged 2PC mode.  One implementation
+ * (fault::FaultInjector) owns the cell's FaultPlan and the recovery
+ * pricing; the coordinator only asks *whether* a window fault is armed
+ * and delegates the machine failure itself.  All hooks are invoked
+ * deterministically from the transaction's own execution order.
+ */
+class TxFaultHooks
+{
+  public:
+    virtual ~TxFaultHooks() = default;
+
+    /** Price one 2PC message over the unreliable network. */
+    virtual Cycles sendReliable(unsigned src, unsigned dst,
+                                std::uint64_t bytes) = 0;
+
+    /** Cycles to append + flush the durable decision record on
+     *  machine @p home's coordinator log. */
+    virtual Cycles persistDecision(unsigned home, CoreId core) = 0;
+
+    /** Cycles to synchronously ship one commit's log records to the
+     *  backup of @p machine (0 when replication is off). */
+    virtual Cycles shipCommit(unsigned machine, CoreId core) = 0;
+
+    /** True if a CoordinatorCrash is armed for machine @p home. */
+    virtual bool coordinatorCrashArmed(unsigned home) = 0;
+
+    /** Fail the coordinator @p home inside the blocking window: power
+     *  the machine down, price its recovery, and price @p peer's
+     *  post-recovery decision-log query round trip. */
+    virtual void failCoordinator(unsigned home, unsigned peer,
+                                 CoreId core) = 0;
+
+    /** True if a ParticipantCrash is armed for machine @p peer. */
+    virtual bool participantCrashArmed(unsigned peer) = 0;
+
+    /** Fail the participant @p peer before its vote departs. */
+    virtual void failParticipant(unsigned peer, CoreId core) = 0;
+
+    /** Cycles the coordinator waits before presuming a silent
+     *  participant dead (the vote timeout). */
+    virtual Cycles voteTimeout() = 0;
 };
 
 /** 2PC accounting across one cluster run. */
@@ -118,13 +168,24 @@ class TxCoordinator
         preparedHook_ = std::move(hook);
     }
 
+    /**
+     * Switch cross-shard transactions to the logged fault mode (null
+     * restores the default reliable protocol).  Installed by the fault
+     * harness only — every non-fault cell runs with this unset, on the
+     * byte-identical PR 9 code path.
+     */
+    void setFaultHooks(TxFaultHooks *hooks) { faultHooks_ = hooks; }
+
   private:
     friend class CoordinatorHook;
     friend class ParticipantHook;
+    friend class LoggedCoordinatorHook;
+    friend class LoggedParticipantHook;
 
     Cluster &cluster_;
     ShardTxStats stats_;
     std::function<void(unsigned peer)> preparedHook_;
+    TxFaultHooks *faultHooks_ = nullptr;
 };
 
 } // namespace ssp::shard

@@ -128,7 +128,8 @@ finishRunMetrics(RunResult &res, Experiment &exp, const RunBaseline &base)
 
 RunResult
 runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores,
-              ScheduleMode mode, unsigned cell_threads)
+              ScheduleMode mode, unsigned cell_threads,
+              const RunHooks &hooks)
 {
     AtomicityBackend &be = *exp.backend;
     Machine &machine = be.machine();
@@ -169,6 +170,8 @@ runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores,
             const CoreId core = static_cast<CoreId>(i % num_cores);
             if (ghosts != nullptr)
                 ghosts->advance(i);
+            if (hooks.beforeOp)
+                hooks.beforeOp(i);
             run_one(core);
             // Bulk-synchronous rounds: re-align core clocks after each
             // round-robin cycle so shared-resource timing (bus, banks)
@@ -211,6 +214,8 @@ runExperiment(Experiment &exp, std::uint64_t num_txs, unsigned num_cores,
                     continue;
                 }
                 ready.pop();
+                if (hooks.beforeOp)
+                    hooks.beforeOp(i);
                 run_one(core);
                 ready.emplace(machine.clock(core), core);
                 break;

@@ -19,6 +19,7 @@
 #define SSP_SIM_DRIVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,15 @@ struct RunResult
     double offeredLoad = 0;          ///< factor of closed-loop capacity
     /** @} */
 
+    /** @{ Fault-epoch tail latency (src/serve/ under injected faults):
+     *  completions inside a window around each injected crash are
+     *  binned separately, conditioning the tail on the fault.  All zero
+     *  when no fault fired. */
+    std::uint64_t faultEpochs = 0;    ///< injected crash windows
+    std::uint64_t faultEpochTxs = 0;  ///< completions inside them
+    std::uint64_t p99FaultEpochCycles = 0;
+    /** @} */
+
     /** Transactions per second at the simulated core frequency. */
     double tps() const;
 
@@ -148,6 +158,18 @@ void finishRunMetrics(RunResult &res, Experiment &exp,
                       const RunBaseline &base);
 
 /**
+ * Driver instrumentation points.  beforeOp, when set, runs immediately
+ * before each dispatched operation with the operation's slot index —
+ * the hook the fault harness uses to fire scheduled crashes at
+ * deterministic positions in the dispatch order (never mid-operation,
+ * so the injection is independent of host threading).
+ */
+struct RunHooks
+{
+    std::function<void(std::uint64_t op_index)> beforeOp;
+};
+
+/**
  * Run @p num_txs operations on @p exp, interleaving @p num_cores cores
  * under @p mode.  Core clocks are synchronized at the start; wall time
  * is max core time.
@@ -163,7 +185,8 @@ void finishRunMetrics(RunResult &res, Experiment &exp,
 RunResult runExperiment(Experiment &exp, std::uint64_t num_txs,
                         unsigned num_cores,
                         ScheduleMode mode = ScheduleMode::Rounds,
-                        unsigned cell_threads = 1);
+                        unsigned cell_threads = 1,
+                        const RunHooks &hooks = {});
 
 } // namespace ssp
 

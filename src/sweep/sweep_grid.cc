@@ -148,6 +148,44 @@ parseLoadList(const std::string &flag, const std::string &list)
     return out;
 }
 
+std::vector<double>
+parseFaultRateList(const std::string &flag, const std::string &list)
+{
+    std::vector<double> out;
+    for (const std::string &item : splitCommas(list)) {
+        double v = -1;
+        try {
+            std::size_t used = 0;
+            v = std::stod(item, &used);
+            if (used != item.size())
+                v = -1; // trailing junk ("5x") is invalid too
+        } catch (const std::exception &) {
+            v = -1;
+        }
+        if (v < 0 || v > 1000) {
+            ssp_fatal("%s values must be decimals in [0, 1000], got '%s'",
+                      flag.c_str(), item.c_str());
+        }
+        out.push_back(v);
+    }
+    if (out.empty())
+        ssp_fatal("%s: empty fault-rate list", flag.c_str());
+    return out;
+}
+
+std::vector<bool>
+parseReplicateModes(const std::string &value)
+{
+    if (value == "off")
+        return {false};
+    if (value == "on")
+        return {true};
+    if (value == "both")
+        return {false, true};
+    ssp_fatal("--replicate must be 'off', 'on' or 'both', got '%s'",
+              value.c_str());
+}
+
 SspConfig
 paperConfig(unsigned cores)
 {
@@ -219,11 +257,18 @@ SweepCell::label() const
     // count (m1 included, so the fast-path cells are self-describing);
     // the cross-shard fraction exists only where 2PC is possible, in
     // percent for byte-stable labels ("x10").
-    if (figure == "shard" || machines > 1)
+    if (figure == "shard" || figure == "fault" || machines > 1)
         out += "/m" + std::to_string(machines);
     if (machines > 1)
         out += "/x" + std::to_string(
                    std::lround(crossShardFraction * 100));
+    // Fault coordinates, in tenths ("f50" = rate 5.0) for byte-stable
+    // labels; every fault-grid cell names its rate (f0 included) so the
+    // zero-fault baseline points are self-describing.
+    if (figure == "fault" || faultRate > 0)
+        out += "/f" + std::to_string(std::lround(faultRate * 10));
+    if (replicate)
+        out += "/rep";
     if (offeredLoad > 0) {
         // Loads are encoded in percent ("load120") — integers keep the
         // label byte-stable regardless of float-formatting locale.
@@ -262,6 +307,7 @@ knownFigures()
         "scale256",
         "queue",
         "shard",
+        "fault",
         "smoke",
     };
 }
@@ -396,6 +442,23 @@ std::vector<unsigned>
 defaultMachineList()
 {
     return {1, 2, 4, 8};
+}
+
+/** Cluster sizes the fault grid sweeps by default (smaller than the
+ *  shard grid: every fault axis doubles the cell count). */
+std::vector<unsigned>
+defaultFaultMachineList()
+{
+    return {1, 2, 4};
+}
+
+/** Fault rates (failures per Mcycle per machine) the fault grid sweeps
+ *  by default: the armed-but-quiet baseline, a rare-failure regime and
+ *  a torture regime (roughly one failure per 50 kcycles per machine). */
+std::vector<double>
+defaultFaultRateList()
+{
+    return {0, 5, 20};
 }
 
 /** Cross-shard fractions the shard grid sweeps: partitionable, lightly
@@ -750,6 +813,54 @@ generateCells(const std::string &figure, std::uint64_t txs,
                 }
             }
         }
+    } else if (figure == "fault") {
+        // Fault-injection grid on the smoke machine: the shard grid's
+        // designs x sharing scenarios across cluster sizes, fault rates
+        // and replication modes, 4 cores per machine, cross-shard
+        // fraction 0.1 wherever 2PC is possible.  Seed ordinals are
+        // pinned to the scale plane exactly like the shard grid, so the
+        // rate-0 non-replicated cells replay the matching shard-grid
+        // cells bit for bit (scripts/check.sh diffs the two) and every
+        // fault axis perturbs the identical operation stream.
+        const std::vector<unsigned> machine_list =
+            opts.machines.empty() ? defaultFaultMachineList()
+                                  : opts.machines;
+        const std::vector<double> rate_list =
+            opts.faultRates.empty() ? defaultFaultRateList()
+                                    : opts.faultRates;
+        const std::vector<bool> rep_list =
+            opts.replicateModes.empty() ? std::vector<bool>{false, true}
+                                        : opts.replicateModes;
+        for (unsigned machines : machine_list) {
+            for (double rate : rate_list) {
+                for (bool rep : rep_list) {
+                    std::int64_t plane_ordinal = 0;
+                    for (WorkloadKind w : scaleWorkloads()) {
+                        for (BackendKind b : scaleBackends()) {
+                            const std::int64_t seed_ordinal =
+                                plane_ordinal++;
+                            if (!shardWorkload(w))
+                                continue;
+                            SweepCell cell;
+                            cell.backend = b;
+                            cell.workload = w;
+                            cell.seedOrdinal = seed_ordinal;
+                            cell.txs = txs;
+                            cell.cores = kShardCores;
+                            cell.base = smokeConfig();
+                            cell.machines = machines;
+                            cell.crossShardFraction =
+                                machines > 1 ? 0.1 : 0;
+                            cell.faultRate = rate;
+                            cell.replicate = rep;
+                            if (partitionedWorkload(w))
+                                cell.keyShards = kShardCores;
+                            emit(std::move(cell));
+                        }
+                    }
+                }
+            }
+        }
     } else if (figure == "smoke") {
         // One tiny CI cell proving the whole pipeline end to end.
         SweepCell cell;
@@ -790,7 +901,7 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
     // the shard grid shares both so its 1-machine cells stay
     // cycle-identical to the scale grid's 4-core cells.
     if (opts.txs == 0 && (figure == "smoke" || figure == "scale" ||
-                          figure == "shard")) {
+                          figure == "shard" || figure == "fault")) {
         txs = 400;
     }
     // The scale64 grid runs the full paper workload scale; 2000
@@ -849,9 +960,21 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
                   "not '%s'",
                   figure.c_str());
     }
-    // ... and only the shard grid sweeps cluster sizes.
-    if (!opts.machines.empty() && figure != "shard") {
-        ssp_fatal("the machines option only applies to the 'shard' "
+    // ... and only the cluster grids sweep cluster sizes ...
+    if (!opts.machines.empty() && figure != "shard" &&
+        figure != "fault") {
+        ssp_fatal("the machines option only applies to the 'shard' and "
+                  "'fault' grids, not '%s'",
+                  figure.c_str());
+    }
+    // ... and only the fault grid sweeps fault rates and replication.
+    if (!opts.faultRates.empty() && figure != "fault") {
+        ssp_fatal("the fault-rate option only applies to the 'fault' "
+                  "grid, not '%s'",
+                  figure.c_str());
+    }
+    if (!opts.replicateModes.empty() && figure != "fault") {
+        ssp_fatal("the replicate option only applies to the 'fault' "
                   "grid, not '%s'",
                   figure.c_str());
     }
@@ -872,10 +995,10 @@ buildFigureGrid(const std::string &figure, const SweepGridOptions &opts)
         cell.nvramDevice = opts.nvramDevice;
         cell.conflictMode = opts.conflictMode;
         if (figure == "smoke" || figure == "scale" ||
-            figure == "shard") {
+            figure == "shard" || figure == "fault") {
             // Keep the cells proportionate to their tiny machine (and
-            // the scale/shard grids' streams identical to the smoke
-            // cell's plane).
+            // the scale/shard/fault grids' streams identical to the
+            // smoke cell's plane).
             cell.scale.keySpace = std::min<std::uint64_t>(
                 cell.scale.keySpace, 1024);
             cell.scale.spsElements = std::min<std::uint64_t>(

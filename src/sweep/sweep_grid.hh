@@ -93,6 +93,12 @@ struct SweepCell
     /** shard-grid knob: probability a coordinator slot becomes a
      *  cross-shard 2PC transaction; only meaningful with machines > 1. */
     double crossShardFraction = 0;
+    /** fault-grid knob: expected machine failures per million simulated
+     *  cycles per machine; 0 = no fault harness (every other grid). */
+    double faultRate = 0;
+    /** fault-grid knob: primary/backup replication with synchronous log
+     *  shipping and failover instead of in-place recovery. */
+    bool replicate = false;
 
     /**
      * Seed-derivation ordinal override; -1 derives from the cell's
@@ -141,11 +147,18 @@ struct SweepGridOptions
     std::vector<double> loads{};
     /** queue grid: arrival process applied to every cell. */
     serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
-    /** shard grid: cluster sizes to sweep; empty = {1, 2, 4, 8}.  Seeds
+    /** shard/fault grids: cluster sizes to sweep; empty = the grid
+     *  default ({1, 2, 4, 8} for shard, {1, 2, 4} for fault).  Seeds
      *  are pinned per (workload, backend) to the scale grid's plane, so
      *  machine counts (and the 1-machine cells vs the checked-in scale
      *  cells) replay the identical operation stream. */
     std::vector<unsigned> machines{};
+    /** fault grid: fault rates (failures per Mcycle per machine) to
+     *  sweep; empty = {0, 5, 20}.  0 is a valid point — the harness is
+     *  armed but schedules nothing, pinning the zero-fault baseline. */
+    std::vector<double> faultRates{};
+    /** fault grid: replication modes to sweep; empty = {off, on}. */
+    std::vector<bool> replicateModes{};
     /** NVRAM device preset applied to every cell of the grid. */
     NvramDevice nvramDevice = NvramDevice::PaperPcm;
     /** Conflict handling applied to every cell of the grid. */
@@ -202,6 +215,19 @@ unsigned parseCellThreads(const std::string &value);
  */
 std::vector<double> parseLoadList(const std::string &flag,
                                   const std::string &list);
+
+/**
+ * Parse a comma-separated fault-rate list for --fault-rate: every item
+ * must be a decimal in [0, 1000] (failures per Mcycle per machine; 0
+ * is the armed-but-quiet baseline point), and the list must be
+ * non-empty — an empty or invalid list is fatal.
+ */
+std::vector<double> parseFaultRateList(const std::string &flag,
+                                       const std::string &list);
+
+/** Parse the --replicate value: "off" = {false}, "on" = {true},
+ *  "both" = {false, true}; fatal on anything else. */
+std::vector<bool> parseReplicateModes(const std::string &value);
 
 } // namespace ssp::sweep
 

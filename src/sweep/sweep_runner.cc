@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -31,7 +32,11 @@ runOneCell(const SweepCell &cell, unsigned cell_threads)
     res.cell = cell;
     const auto host_start = std::chrono::steady_clock::now();
     try {
-        if (cell.machines > 1) {
+        // Fault-armed cells always go through the cluster driver, even
+        // with one machine, so scheduled failures have slot boundaries
+        // to fire at.  Unarmed cells keep their historical paths.
+        const bool faulty = cell.faultRate > 0 || cell.replicate;
+        if (cell.machines > 1 || faulty) {
             // Cluster cell: each machine gets its own Experiment (own
             // seed stream, see Cluster::shardSeed) and the routing
             // stream deciding which slots go cross-shard draws from a
@@ -41,14 +46,30 @@ runOneCell(const SweepCell &cell, unsigned cell_threads)
             shard::Cluster cluster(cell.backend, cell.workload,
                                    cell.config(), cell.scale,
                                    cell.machines);
+            std::unique_ptr<fault::FaultInjector> inj;
+            if (faulty) {
+                fault::FaultParams fp;
+                fp.ratePerMcycle = cell.faultRate;
+                fp.replicate = cell.replicate;
+                fp.seed = deriveCellSeed(cell.scale.seed,
+                                         fault::kFaultSeedOrdinal);
+                inj = std::make_unique<fault::FaultInjector>(
+                    cluster, fp,
+                    deriveCellSeed(cell.scale.seed,
+                                   fault::kNetFaultSeedOrdinal),
+                    cell.crossShardFraction);
+            }
             shard::ShardRunResult sr = shard::runClusterExperiment(
                 cluster, cell.txs, cell.cores, cell.crossShardFraction,
-                deriveCellSeed(cell.scale.seed, kRouteSeedOrdinal));
+                deriveCellSeed(cell.scale.seed, kRouteSeedOrdinal),
+                inj.get());
             res.run = std::move(sr.aggregate);
             res.shardRuns = std::move(sr.shards);
             res.shardTx = sr.tx;
             res.networkMessages = sr.networkMessages;
             res.networkCycles = sr.networkCycles;
+            if (inj != nullptr)
+                res.faultStats = inj->stats();
             res.ok = true;
             res.hostMillis =
                 std::chrono::duration<double, std::milli>(
@@ -203,13 +224,25 @@ sweepReport(const std::string &figure,
         // grid's axis, constant-schema) and on any future multi-machine
         // cell; the cross-shard fraction only where 2PC can happen, so
         // the 1-machine cells' entries mirror the scale grid's shape.
-        if (r.cell.figure == "shard" || r.cell.machines > 1)
+        if (r.cell.figure == "shard" || r.cell.figure == "fault" ||
+            r.cell.machines > 1)
             c.set("machines",
                   Json::number(std::uint64_t{r.cell.machines}));
         if (r.cell.machines > 1)
             c.set("cross_shard_pct",
                   Json::number(static_cast<std::uint64_t>(std::lround(
                       r.cell.crossShardFraction * 100))));
+        // Fault coordinates exist on every fault-grid cell (the grid's
+        // axes, constant-schema) and on any future fault-armed cell;
+        // rates are emitted in integer tenths, like the label, so the
+        // document never depends on float formatting.
+        if (r.cell.figure == "fault" || r.cell.faultRate > 0 ||
+            r.cell.replicate) {
+            c.set("fault_rate_tenths",
+                  Json::number(static_cast<std::uint64_t>(
+                      std::lround(r.cell.faultRate * 10))));
+            c.set("replicated", Json::boolean(r.cell.replicate));
+        }
         // Seeds span the full 64-bit range, past the 2^53 integers a
         // JSON number can hold exactly — emit them as hex strings.
         char seed_hex[32];
@@ -322,6 +355,42 @@ sweepReport(const std::string &figure,
             for (const RunResult &s : r.shardRuns)
                 shard_txs.push(Json::number(s.committedTxs));
             m.set("shard_committed_txs", std::move(shard_txs));
+        }
+        // Fault-harness metrics exist iff the cell could inject faults
+        // (rate > 0): a zero-rate cell ran the byte-identical reliable
+        // model and must not grow schema.  Replication metrics exist
+        // iff replication was on — including at rate 0, where shipping
+        // still prices every commit.
+        if (r.cell.faultRate > 0) {
+            m.set("injected_power_fails",
+                  Json::number(r.faultStats.powerFails));
+            m.set("coordinator_crashes",
+                  Json::number(r.faultStats.coordinatorCrashes));
+            m.set("participant_crashes",
+                  Json::number(r.faultStats.participantCrashes));
+            m.set("recoveries", Json::number(r.faultStats.recoveries));
+            m.set("failovers", Json::number(r.faultStats.failovers));
+            m.set("recovery_stall_cycles",
+                  Json::number(r.faultStats.recoveryStallCycles));
+            m.set("failover_stall_cycles",
+                  Json::number(r.faultStats.failoverStallCycles));
+            m.set("presumed_aborts",
+                  Json::number(r.faultStats.presumedAborts));
+            m.set("decision_records",
+                  Json::number(r.faultStats.decisionRecords));
+            m.set("messages_lost",
+                  Json::number(r.faultStats.messagesLost));
+            m.set("rpc_retries", Json::number(r.faultStats.rpcRetries));
+            m.set("rpc_timeout_stall_cycles",
+                  Json::number(r.faultStats.rpcTimeoutStallCycles));
+            m.set("committed_despite_faults",
+                  Json::number(r.faultStats.committedDespiteFaults));
+        }
+        if (r.cell.replicate) {
+            m.set("log_ship_messages",
+                  Json::number(r.faultStats.logShipMessages));
+            m.set("log_ship_cycles",
+                  Json::number(r.faultStats.logShipCycles));
         }
         // Tail-latency metrics exist only on open-loop serve cells —
         // a closed-loop run has no queues, so no request ever waits.

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "shard/shard_driver.hh"
 #include "sim/driver.hh"
 #include "sim/report.hh"
@@ -38,6 +39,9 @@ struct CellResult
     std::uint64_t networkMessages = 0;
     /** Cycles those messages charged to core clocks. */
     Cycles networkCycles = 0;
+    /** Fault-harness accounting; all zero unless the cell armed it
+     *  (fault rate > 0 or replication on). */
+    fault::FaultStats faultStats{};
     /**
      * Host wall-clock time this cell took to build and run, in
      * milliseconds.  Always measured (one steady_clock pair per cell);
